@@ -1,0 +1,61 @@
+"""Figure 10: kernel-level effect of the parallelization strategy choice.
+
+The paper's simplified kernel traces show two effects: (1) during decoding,
+preferring TP over PP avoids per-step pipeline synchronisation, and excessive
+TP wastes time in all-reduces while extra DP is free; (2) during training,
+a larger PP degree with many micro-batches trades a small bubble for much less
+collective communication than high TP.
+"""
+
+from conftest import run_once
+
+from repro.cluster import make_cluster
+from repro.experiments import format_table
+from repro.model import LayerCostModel, get_model_config
+
+
+def run_figure10():
+    cluster = make_cluster(128)
+    model = LayerCostModel(get_model_config("70b"), cluster)
+
+    decode_rows = []
+    for tp, batch in [(2, 2), (8, 2)]:
+        timing = model.decode_time(batch=batch, kv_len=1536, tp=tp, use_cuda_graph=True)
+        decode_rows.append(
+            {
+                "config": f"decode tp={tp} batch={batch}",
+                "compute+IO (us)": round(timing.compute_s * 1e6, 0),
+                "all-reduce (us)": round(timing.tp_comm_s * 1e6, 0),
+                "launch (us)": round(timing.launch_s * 1e6, 0),
+                "total (us)": round(timing.total_s * 1e6, 0),
+            }
+        )
+
+    train_rows = []
+    for tp, tokens in [(2, 16 * 2048), (8, 32 * 2048)]:
+        timing = model.forward_time(n_tokens=tokens, seqlen=2048, tp=tp)
+        train_rows.append(
+            {
+                "config": f"train fwd tp={tp} tokens={tokens}",
+                "compute (ms)": round(timing.compute_s * 1e3, 1),
+                "all-reduce (ms)": round(timing.tp_comm_s * 1e3, 1),
+                "total (ms)": round(timing.total_s * 1e3, 1),
+            }
+        )
+    return decode_rows, train_rows
+
+
+def test_figure10_kernel_traces(benchmark):
+    decode_rows, train_rows = run_once(benchmark, run_figure10)
+    print()
+    print(format_table(decode_rows, title="Figure 10 (top): 70B decoding step, one layer"))
+    print()
+    print(format_table(train_rows, title="Figure 10 (bottom): 70B training forward, one layer"))
+
+    # Decoding: TP=8 shrinks the memory-I/O time but pays a visible all-reduce.
+    assert decode_rows[1]["compute+IO (us)"] < decode_rows[0]["compute+IO (us)"]
+    assert decode_rows[1]["all-reduce (us)"] > decode_rows[0]["all-reduce (us)"]
+    # Training: the high-TP configuration spends relatively more on all-reduce.
+    low_tp_ratio = train_rows[0]["all-reduce (ms)"] / train_rows[0]["total (ms)"]
+    high_tp_ratio = train_rows[1]["all-reduce (ms)"] / train_rows[1]["total (ms)"]
+    assert high_tp_ratio > low_tp_ratio

@@ -1,0 +1,65 @@
+"""Figure 11: GPU-time breakdown of one RLHF iteration, ReaL vs ReaL-Heuristic.
+
+The CUDA-kernel time of an iteration is decomposed into compute, point-to-point
+(pipeline) communication, collective (TP/DP) communication and idle time.
+Expected shape: ReaL's searched plan spends a larger *fraction* of GPU time in
+compute and less in parallelization overhead than the symmetric heuristic.
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import RealSystem, build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import instructgpt_workload
+from repro.experiments import format_table
+from repro.runtime import RuntimeEngine
+
+
+def run_figure11():
+    cases = [("7B+7B", "7b", "7b", 16, 512)]
+    if bench_scale() == "full":
+        cases += [("34B+7B", "34b", "7b", 64, 2048), ("70B+7B", "70b", "7b", 128, 4096)]
+    graph = build_ppo_graph()
+    rows = []
+    for label, actor, critic, n_gpus, batch in cases:
+        workload = instructgpt_workload(actor, critic, batch_size=batch)
+        cluster = make_cluster(n_gpus)
+        engine = RuntimeEngine(cluster, workload)
+        plans = {
+            "ReaL": RealSystem(search_config=bench_search_config()).build_plan(graph, workload, cluster),
+            "Heuristic": build_heuristic_plan(graph, workload, cluster),
+        }
+        for system, plan in plans.items():
+            trace = engine.run_iteration(graph, plan)
+            fractions = trace.gpu_time_fractions()
+            rows.append(
+                {
+                    "setting": label,
+                    "system": system,
+                    "s/iter": round(trace.total_seconds, 1),
+                    "compute": round(fractions["compute"], 3),
+                    "p2p": round(fractions["p2p"], 3),
+                    "collective": round(fractions["collective"], 3),
+                    "idle+bubble": round(fractions["idle"], 3),
+                }
+            )
+    return rows
+
+
+def test_figure11_gpu_time_breakdown(benchmark):
+    rows = run_once(benchmark, run_figure11)
+    print()
+    print(format_table(rows, title="Figure 11: GPU time breakdown (fractions of GPU-seconds)"))
+    by_setting = {}
+    for row in rows:
+        by_setting.setdefault(row["setting"], {})[row["system"]] = row
+    for setting, pair in by_setting.items():
+        real, heuristic = pair["ReaL"], pair["Heuristic"]
+        # ReaL spends no more *absolute* GPU time on parallelization overhead
+        # (collective + P2P communication, including reallocation broadcasts)
+        # than the heuristic, while finishing the iteration at least as fast.
+        overhead_real = (real["collective"] + real["p2p"]) * real["s/iter"]
+        overhead_heur = (heuristic["collective"] + heuristic["p2p"]) * heuristic["s/iter"]
+        assert overhead_real <= overhead_heur * 1.1
+        assert real["s/iter"] <= heuristic["s/iter"] * 1.02

@@ -1,0 +1,101 @@
+"""Figure 12: profiler cost (left) and estimator accuracy (right).
+
+Left: the wall time the profiler would need per model (the paper reports under
+four minutes per model on real hardware).  Right: estimated iteration time
+versus the runtime engine's "real" (simulated) time for both the searched and
+the heuristic plan — relative differences stay below ~25% and the relative
+ordering of plans is preserved.
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import RealSystem, build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import Profiler, RuntimeEstimator, instructgpt_workload
+from repro.experiments import format_table
+from repro.model import MODEL_SIZES, get_model_config
+from repro.runtime import RuntimeEngine
+
+
+def run_profiler_cost():
+    cluster = make_cluster(16)
+    profiler = Profiler(cluster)
+    rows = []
+    profiles = {}
+    for size in MODEL_SIZES:
+        stats = profiler.profile(get_model_config(size), max_tokens=2 ** 20,
+                                 seq_lengths=(256, 512, 1024), max_batch=512)
+        profiles[size] = stats
+        rows.append(
+            {
+                "model": size.upper(),
+                "measurements": stats.sample_count(),
+                "profiling wall time (s)": round(stats.profiling_seconds, 1),
+            }
+        )
+    return rows, profiles
+
+
+def run_estimator_accuracy():
+    graph = build_ppo_graph()
+    cases = [("7b", "7b", 16, 512)]
+    if bench_scale() == "full":
+        cases.append(("13b", "7b", 32, 1024))
+    rows = []
+    for actor, critic, n_gpus, batch in cases:
+        workload = instructgpt_workload(actor, critic, batch_size=batch)
+        cluster = make_cluster(n_gpus)
+        profiler = Profiler(cluster)
+        profiles = {
+            name: profiler.profile(workload.model_config(name), max_tokens=2 ** 20,
+                                   seq_lengths=(512, 1024, 2048), max_batch=batch)
+            for name in graph.model_names()
+        }
+        estimator = RuntimeEstimator(graph, workload, cluster, profiles=profiles)
+        engine = RuntimeEngine(cluster, workload)
+        plans = {
+            "heuristic": build_heuristic_plan(graph, workload, cluster),
+            "searched": RealSystem(search_config=bench_search_config()).build_plan(
+                graph, workload, cluster
+            ),
+        }
+        for plan_name, plan in plans.items():
+            estimated = estimator.time_cost(plan).total_seconds
+            real = engine.run_iteration(graph, plan).total_seconds
+            rows.append(
+                {
+                    "setting": f"{actor}+{critic}",
+                    "plan": plan_name,
+                    "estimated (s)": round(estimated, 1),
+                    "real (s)": round(real, 1),
+                    "rel. error": f"{abs(estimated - real) / real * 100:.1f}%",
+                }
+            )
+    return rows
+
+
+def test_figure12_left_profiler_cost(benchmark):
+    rows, _profiles = run_once(benchmark, run_profiler_cost)
+    print()
+    print(format_table(rows, title="Figure 12 (left): profiler wall time per model"))
+    times = [row["profiling wall time (s)"] for row in rows]
+    # Profiling cost grows with the model size and stays in the minutes range.
+    assert times == sorted(times)
+    assert all(t < 3600 for t in times)
+
+
+def test_figure12_right_estimator_accuracy(benchmark):
+    rows = run_once(benchmark, run_estimator_accuracy)
+    print()
+    print(format_table(rows, title="Figure 12 (right): estimated vs real iteration time"))
+    for row in rows:
+        assert float(row["rel. error"].rstrip("%")) < 30.0
+    # Rank preservation between the two plans of each setting.
+    by_setting = {}
+    for row in rows:
+        by_setting.setdefault(row["setting"], []).append(row)
+    for setting_rows in by_setting.values():
+        est_order = sorted(setting_rows, key=lambda r: r["estimated (s)"])
+        real_order = sorted(setting_rows, key=lambda r: r["real (s)"])
+        assert [r["plan"] for r in est_order] == [r["plan"] for r in real_order]

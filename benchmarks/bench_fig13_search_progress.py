@@ -1,0 +1,60 @@
+"""Figure 13: improvement ratio of the best discovered plan versus search time.
+
+The paper tracks the estimated cost of the best plan found so far relative to
+the initial plan as the MCMC search proceeds, for four model sizes and two
+context lengths; good plans appear within seconds to a couple of minutes.
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.algorithms import build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import MCMCSearcher, instructgpt_workload
+from repro.experiments import format_table, gpus_for_actor
+
+
+def run_figure13():
+    graph = build_ppo_graph()
+    actors = ["7b"] if bench_scale() != "full" else ["7b", "13b", "34b", "70b"]
+    contexts = [2048] if bench_scale() != "full" else [2048, 8192]
+    rows = []
+    for context in contexts:
+        for actor in actors:
+            n_gpus = gpus_for_actor(actor)
+            workload = instructgpt_workload(
+                actor, "7b", batch_size=n_gpus * 32,
+                prompt_len=context // 2, gen_len=context // 2,
+            )
+            cluster = make_cluster(n_gpus)
+            searcher = MCMCSearcher(graph, workload, cluster, config=bench_search_config())
+            result = searcher.search()
+            # Sample the improvement-ratio curve at a few points in time.
+            checkpoints = [0.25, 0.5, 1.0]
+            curve = {}
+            for fraction in checkpoints:
+                cutoff = fraction * result.elapsed_seconds
+                best = min(
+                    (cost for _, elapsed, cost in result.history if elapsed <= cutoff),
+                    default=result.initial_cost,
+                )
+                curve[f"ratio@{int(fraction * 100)}%"] = round(best / result.initial_cost, 3)
+            rows.append(
+                {
+                    "actor": actor.upper(),
+                    "context": context,
+                    "search time (s)": round(result.elapsed_seconds, 1),
+                    **curve,
+                    "final ratio": round(result.improvement_ratio, 3),
+                }
+            )
+    return rows
+
+
+def test_figure13_search_progress(benchmark):
+    rows = run_once(benchmark, run_figure13)
+    print()
+    print(format_table(rows, title="Figure 13: improvement ratio vs search time"))
+    for row in rows:
+        # The ratio is monotonically non-increasing over time and ends <= 1.
+        assert row["ratio@25%"] >= row["ratio@50%"] >= row["ratio@100%"]
+        assert row["final ratio"] <= 1.0

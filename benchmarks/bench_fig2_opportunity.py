@@ -1,0 +1,44 @@
+"""Figure 2: the optimization opportunity over a 3D-parallelism execution plan.
+
+Starting from the pre-training-inspired symmetric plan, the paper applies
+ReaL's optimizations one at a time: optimizing the inference parallelization,
+reallocating the critic's workloads, and reallocating the actor's workloads.
+Expected shape: each step improves (or at least never hurts) end-to-end time,
+and the actor reallocation (generation + training) contributes the most.
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.cluster import make_cluster
+from repro.core import instructgpt_workload
+from repro.algorithms import build_ppo_graph
+from repro.experiments import figure2_opportunity, format_table
+
+
+def run_figure2():
+    if bench_scale() == "full":
+        cluster, workload = make_cluster(32), instructgpt_workload("13b", "7b", batch_size=1024)
+    else:
+        cluster, workload = make_cluster(16), instructgpt_workload("7b", "7b", batch_size=512)
+    graph = build_ppo_graph()
+    return figure2_opportunity(graph, workload, cluster, search_config=bench_search_config())
+
+
+def test_figure2_optimization_opportunity(benchmark):
+    levels = run_once(benchmark, run_figure2)
+    base = levels[0].seconds_per_iteration
+    rows = [
+        {
+            "level": level.name,
+            "s/iter": round(level.seconds_per_iteration, 1),
+            "improvement vs 3D": f"{(base / level.seconds_per_iteration - 1) * 100:+.0f}%",
+        }
+        for level in levels
+    ]
+    print()
+    print(format_table(rows, title="Figure 2: sequential optimization opportunity"))
+    # Each added optimization never makes the plan slower (small tolerance for
+    # search noise), and the full ladder yields a real improvement.
+    assert levels[-1].seconds_per_iteration <= base
+    for earlier, later in zip(levels[:-1], levels[1:]):
+        assert later.seconds_per_iteration <= earlier.seconds_per_iteration * 1.05

@@ -1,0 +1,51 @@
+"""Figure 8: throughput of ReaL vs ReaL-Heuristic at context 2048 and 8192.
+
+Expected shape: the searched plans beat the symmetric Megatron-style heuristic
+everywhere, and the advantage grows with the longer context (the paper reports
++54% on average at 2048 tokens and up to +81% at 8192).
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.experiments import figure8_settings, format_table, run_heuristic_comparison
+
+
+def run_figure8():
+    rows = []
+    speedups = {2048: [], 8192: []}
+    for context_len in (2048, 8192):
+        settings = figure8_settings(context_len)
+        if bench_scale() != "full":
+            settings = settings[:2]  # 7B+7B and 13B+7B
+        records = run_heuristic_comparison(settings)
+        by_setting = {}
+        for record in records:
+            by_setting.setdefault(record.setting, {})[record.system] = record
+        for name, pair in by_setting.items():
+            real, heur = pair.get("ReaL"), pair.get("ReaL-Heuristic")
+            if real is None or heur is None or not (real.feasible and heur.feasible):
+                continue
+            ratio = real.petaflops / heur.petaflops
+            speedups[context_len].append(ratio)
+            rows.append(
+                {
+                    "setting": name,
+                    "context": context_len,
+                    "heuristic PFLOP/s": round(heur.petaflops, 2),
+                    "ReaL PFLOP/s": round(real.petaflops, 2),
+                    "improvement": f"{(ratio - 1) * 100:+.0f}%",
+                }
+            )
+    return rows, speedups
+
+
+def test_figure8_heuristic_comparison(benchmark):
+    rows, speedups = run_once(benchmark, run_figure8)
+    print()
+    print(format_table(rows, title="Figure 8: ReaL vs ReaL-Heuristic throughput"))
+    assert all(ratio >= 0.98 for ratios in speedups.values() for ratio in ratios)
+    mean_2048 = sum(speedups[2048]) / len(speedups[2048])
+    mean_8192 = sum(speedups[8192]) / len(speedups[8192])
+    print(f"\nmean improvement: ctx2048 {mean_2048:.2f}x, ctx8192 {mean_8192:.2f}x")
+    # ReaL's advantage does not shrink in the long-context regime.
+    assert mean_8192 >= mean_2048 * 0.9

@@ -1,0 +1,41 @@
+"""Table 1: LLaMA-3 model configurations and parameter counts."""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.model import MODEL_SIZES, get_model_config
+
+
+def build_table1():
+    rows = []
+    for size in MODEL_SIZES:
+        config = get_model_config(size)
+        rows.append(
+            {
+                "Identifier": size.upper(),
+                "HiddenSize": config.hidden_size,
+                "IntermediateSize": config.intermediate_size,
+                "NumLayers": config.n_layers,
+                "NumAttentionHeads": config.n_heads,
+                "NumKVHeads": config.n_kv_heads,
+                "VocabSize": config.vocab_size,
+                "TotalParamCount": config.param_count(),
+                "ParamCount w/o OutputEmbedding": config.param_count_no_output_embedding(),
+            }
+        )
+    return rows
+
+
+def test_table1_model_configs(benchmark):
+    rows = run_once(benchmark, build_table1)
+    print()
+    print(format_table(rows, title="Table 1: LLaMA-3 model configurations"))
+    # Exact reproduction of the paper's parameter counts.
+    expected = {
+        "7B": 8030261248,
+        "13B": 14001525760,
+        "34B": 35321028608,
+        "70B": 70553706496,
+    }
+    for row in rows:
+        assert row["TotalParamCount"] == expected[row["Identifier"]]

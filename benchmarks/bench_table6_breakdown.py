@@ -1,0 +1,64 @@
+"""Table 6: RLHF wall-time breakdown, ReaL vs heuristic, with/without CUDA graphs.
+
+For the representative 7B+7B (and, at full scale, 70B+7B) settings the paper
+breaks the iteration into its six function calls and reports the end-to-end
+time with and without CUDA-graph decoding.  Expected shape: ReaL accelerates
+every individual call or overlaps it with others, generation dominates the
+iteration, and disabling CUDA graphs hurts mostly the generation call.
+"""
+
+from conftest import bench_scale, bench_search_config, run_once
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import RealSystem, build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import instructgpt_workload
+from repro.experiments import format_table
+from repro.runtime import RuntimeEngine
+
+
+def run_table6():
+    graph = build_ppo_graph()
+    cases = [("7B+7B", "7b", "7b", 16, 512)]
+    if bench_scale() == "full":
+        cases.append(("70B+7B", "70b", "7b", 128, 4096))
+    tables = {}
+    for label, actor, critic, n_gpus, batch in cases:
+        workload = instructgpt_workload(actor, critic, batch_size=batch)
+        cluster = make_cluster(n_gpus)
+        plans = {
+            "ReaL": RealSystem(search_config=bench_search_config()).build_plan(graph, workload, cluster),
+            "Heuristic": build_heuristic_plan(graph, workload, cluster),
+        }
+        rows = []
+        summary = {}
+        for system, plan in plans.items():
+            for use_graph in (True, False):
+                engine = RuntimeEngine(cluster, workload, use_cuda_graph=use_graph)
+                trace = engine.run_iteration(graph, plan)
+                call_seconds = trace.call_seconds()
+                key = (system, use_graph)
+                summary[key] = trace.total_seconds
+                rows.append(
+                    {
+                        "system": system,
+                        "CUDAGraph": "yes" if use_graph else "no",
+                        **{name: round(seconds, 1) for name, seconds in call_seconds.items()},
+                        "End2End": round(trace.total_seconds, 1),
+                    }
+                )
+        tables[label] = (rows, summary)
+    return tables
+
+
+def test_table6_wall_time_breakdown(benchmark):
+    tables = run_once(benchmark, run_table6)
+    print()
+    for label, (rows, summary) in tables.items():
+        print(format_table(rows, title=f"Table 6: wall-time breakdown, {label}"))
+        print()
+        # ReaL end-to-end <= heuristic end-to-end (both with CUDA graphs).
+        assert summary[("ReaL", True)] <= summary[("Heuristic", True)] * 1.02
+        # Disabling CUDA-graph decoding slows both systems down.
+        assert summary[("ReaL", False)] >= summary[("ReaL", True)]
+        assert summary[("Heuristic", False)] >= summary[("Heuristic", True)]

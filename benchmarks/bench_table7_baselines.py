@@ -1,0 +1,64 @@
+"""Table 7: the baseline systems, their versions and backends.
+
+This is a documentation table in the paper; here it doubles as a smoke test
+that every baseline strategy model is constructible and produces a plan (or a
+well-formed infeasibility report) on a small shared setting.
+"""
+
+from conftest import run_once
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import (
+    DeepSpeedChatSystem,
+    NeMoAlignerSystem,
+    OpenRLHFSystem,
+    RealHeuristicSystem,
+    VeRLSystem,
+)
+from repro.cluster import make_cluster
+from repro.core import instructgpt_workload
+from repro.experiments import format_table
+
+BASELINE_INFO = [
+    ("DeepSpeedChat", "commit f73a6ed", "DeepSpeed v0.15.1", "DeepSpeed v0.15.1 (ZeRO-3 + HybridEngine)"),
+    ("OpenRLHF", "v0.4.2", "vLLM v0.4.2", "DeepSpeed v0.15.0 (ZeRO-3)"),
+    ("NeMo-Aligner", "v0.4.0", "TRT-LLM v0.10.0", "Megatron-LM v0.8.0"),
+    ("veRL", "v0.2.0.post2", "vLLM v0.6.3", "PyTorch FSDP v2.4.0 / Megatron-LM"),
+    ("ReaL-Heuristic", "this repo", "analytical engine", "Megatron-style symmetric 3D"),
+]
+
+SYSTEMS = {
+    "DeepSpeedChat": DeepSpeedChatSystem,
+    "OpenRLHF": OpenRLHFSystem,
+    "NeMo-Aligner": NeMoAlignerSystem,
+    "veRL": VeRLSystem,
+    "ReaL-Heuristic": RealHeuristicSystem,
+}
+
+
+def run_table7():
+    graph = build_ppo_graph()
+    workload = instructgpt_workload("7b", "7b", batch_size=128)
+    cluster = make_cluster(16)
+    rows = []
+    for name, version, gen_backend, train_backend in BASELINE_INFO:
+        system = SYSTEMS[name]()
+        evaluation = system.evaluate(graph, workload, cluster)
+        rows.append(
+            {
+                "System": name,
+                "Version": version,
+                "Generation backend": gen_backend,
+                "Training backend": train_backend,
+                "Runs 7B+7B/16 GPUs": "yes" if evaluation.feasible else "OOM",
+            }
+        )
+    return rows
+
+
+def test_table7_baseline_systems(benchmark):
+    rows = run_once(benchmark, run_table7)
+    print()
+    print(format_table(rows, title="Table 7: baseline systems and backends"))
+    assert len(rows) == 5
+    assert {row["System"] for row in rows} == set(SYSTEMS)

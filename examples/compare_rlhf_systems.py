@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare ReaL against the baseline RLHF systems (Figure 7 style).
+
+Evaluates DeepSpeed-Chat, OpenRLHF, NeMo-Aligner, veRL, the Megatron-style
+heuristic and ReaL on the same workload and simulated cluster, and prints the
+throughput ranking.  Systems whose plan does not fit in device memory are
+reported as OOM, mirroring the red crosses in the paper's Figure 7.
+
+Run with::
+
+    python examples/compare_rlhf_systems.py [--gpus 16] [--actor 7b]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms import build_graph
+from repro.baselines import (
+    DeepSpeedChatSystem,
+    NeMoAlignerSystem,
+    OpenRLHFSystem,
+    RealHeuristicSystem,
+    RealSystem,
+    VeRLSystem,
+)
+from repro.cluster import make_cluster
+from repro.core import SearchConfig, instructgpt_workload
+from repro.experiments import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=16)
+    parser.add_argument("--actor", default="7b", choices=["7b", "13b", "34b", "70b"])
+    parser.add_argument("--critic", default="7b", choices=["7b", "13b"])
+    parser.add_argument("--algorithm", default="ppo", choices=["ppo", "dpo", "grpo", "remax"])
+    parser.add_argument("--context", type=int, default=2048)
+    parser.add_argument("--search-seconds", type=float, default=25.0)
+    args = parser.parse_args()
+
+    graph = build_graph(args.algorithm)
+    workload = instructgpt_workload(
+        args.actor, args.critic,
+        batch_size=args.gpus * 32,
+        prompt_len=args.context // 2,
+        gen_len=args.context // 2,
+    )
+    cluster = make_cluster(args.gpus)
+
+    systems = [
+        DeepSpeedChatSystem(),
+        OpenRLHFSystem(),
+        NeMoAlignerSystem(),
+        VeRLSystem(),
+        RealHeuristicSystem(),
+        RealSystem(search_config=SearchConfig(
+            max_iterations=4000, time_budget_s=args.search_seconds, seed=0)),
+    ]
+
+    rows = []
+    for system in systems:
+        evaluation = system.evaluate(graph, workload, cluster)
+        rows.append(
+            {
+                "system": system.name,
+                "s/iter": round(evaluation.seconds_per_iteration, 1)
+                if evaluation.feasible else "OOM",
+                "PFLOP/s": round(evaluation.petaflops, 2),
+                "note": evaluation.failure_reason,
+            }
+        )
+
+    rows.sort(key=lambda row: -row["PFLOP/s"])
+    print()
+    print(format_table(
+        rows,
+        title=f"{args.algorithm.upper()} {args.actor}+{args.critic}, "
+              f"{args.gpus} GPUs, context {args.context}",
+    ))
+    best = rows[0]
+    feasible = [row for row in rows if row["PFLOP/s"] > 0]
+    if len(feasible) > 1:
+        worst = feasible[-1]
+        print(f"\n{best['system']} is {best['PFLOP/s'] / worst['PFLOP/s']:.2f}x faster "
+              f"than {worst['system']} on this setting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Long-context planning: how the searched plan changes from 2k to 8k context.
+
+The paper reports that ReaL's advantage over the Megatron-style heuristic
+grows from +54% on average to up to +81% when the context stretches from 2048
+to 8192 tokens (Figure 8).  This example searches plans for both contexts at a
+fixed token budget and shows how the chosen parallelization shifts.
+
+Run with::
+
+    python examples/long_context_planning.py [--gpus 16] [--actor 7b]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import RealSystem, build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import SearchConfig, instructgpt_workload
+from repro.experiments import format_table, petaflops_per_second
+from repro.runtime import RuntimeEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=16)
+    parser.add_argument("--actor", default="7b", choices=["7b", "13b", "34b", "70b"])
+    parser.add_argument("--critic", default="7b", choices=["7b", "13b"])
+    parser.add_argument("--search-seconds", type=float, default=20.0)
+    args = parser.parse_args()
+
+    graph = build_ppo_graph()
+    cluster = make_cluster(args.gpus)
+    token_budget = args.gpus * 32 * 2048  # constant tokens per global batch
+
+    rows = []
+    for context in (2048, 8192):
+        batch_size = max(8, token_budget // context)
+        workload = instructgpt_workload(
+            args.actor, args.critic, batch_size=batch_size,
+            prompt_len=context // 2, gen_len=context // 2,
+        )
+        heuristic = build_heuristic_plan(graph, workload, cluster)
+        real = RealSystem(search_config=SearchConfig(
+            max_iterations=4000, time_budget_s=args.search_seconds, seed=0))
+        searched = real.build_plan(graph, workload, cluster)
+
+        engine = RuntimeEngine(cluster, workload)
+        t_heuristic = engine.run_iteration(graph, heuristic).total_seconds
+        t_searched = engine.run_iteration(graph, searched).total_seconds
+        gen_alloc = searched["actor_generate"]
+        rows.append(
+            {
+                "context": context,
+                "batch": batch_size,
+                "heuristic PFLOP/s": round(petaflops_per_second(workload, graph, t_heuristic), 2),
+                "ReaL PFLOP/s": round(petaflops_per_second(workload, graph, t_searched), 2),
+                "improvement": f"{(t_heuristic / t_searched - 1) * 100:+.0f}%",
+                "searched gen strategy": gen_alloc.parallel.describe()
+                + f" mbs={gen_alloc.n_microbatches}",
+            }
+        )
+
+    print()
+    print(format_table(rows, title=f"Long-context planning, {args.actor}+{args.critic}, {args.gpus} GPUs"))
+    print("\nThe generation call's strategy shifts as the KV cache and activation\n"
+          "memory grow with the context: the searched plan re-balances DP/TP/PP\n"
+          "and micro-batching instead of keeping the pre-training recipe.")
+
+
+if __name__ == "__main__":
+    main()

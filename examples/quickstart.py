@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: search an execution plan for PPO and compare it to the heuristic.
+
+This is the 5-minute tour of the library: declare the RLHF experiment (model
+sizes, batch, cluster), let the execution plan generator search for a fast
+plan, and deploy both the searched plan and the Megatron-style heuristic on
+the simulated cluster to compare their throughput.
+
+Run with::
+
+    python examples/quickstart.py [--gpus 16] [--actor 7b] [--critic 7b]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms import build_ppo_graph
+from repro.baselines import build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import MCMCSearcher, RuntimeEstimator, SearchConfig, instructgpt_workload
+from repro.experiments import petaflops_per_second
+from repro.runtime import RuntimeEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=16, help="cluster size (multiple of 8)")
+    parser.add_argument("--actor", default="7b", choices=["7b", "13b", "34b", "70b"])
+    parser.add_argument("--critic", default="7b", choices=["7b", "13b"])
+    parser.add_argument("--batch-size", type=int, default=None, help="prompts per iteration")
+    parser.add_argument("--search-seconds", type=float, default=20.0)
+    args = parser.parse_args()
+
+    batch_size = args.batch_size or args.gpus * 32
+
+    # 1. Describe the experiment: the PPO dataflow graph, the InstructGPT-style
+    #    workload and the cluster.
+    graph = build_ppo_graph()
+    workload = instructgpt_workload(args.actor, args.critic, batch_size=batch_size)
+    cluster = make_cluster(args.gpus)
+    print(f"Experiment: {args.actor} actor + {args.critic} critic, "
+          f"batch {batch_size}, {args.gpus} GPUs\n")
+
+    # 2. Search for an execution plan (seeded with the Megatron heuristic).
+    heuristic = build_heuristic_plan(graph, workload, cluster)
+    searcher = MCMCSearcher(
+        graph, workload, cluster,
+        config=SearchConfig(max_iterations=4000, time_budget_s=args.search_seconds, seed=0),
+        seed_plans=[heuristic],
+    )
+    result = searcher.search()
+    print(f"Searched {result.n_iterations} plans in {result.elapsed_seconds:.1f}s "
+          f"(space of {result.search_space:.2e} plans)")
+    print(result.best_plan.describe(graph))
+    print()
+
+    # 3. Deploy both plans on the simulated cluster and compare.
+    engine = RuntimeEngine(cluster, workload)
+    estimator = RuntimeEstimator(graph, workload, cluster)
+    for name, plan in [("ReaL (searched)", result.best_plan), ("ReaL-Heuristic", heuristic)]:
+        trace = engine.run_iteration(graph, plan)
+        pflops = petaflops_per_second(workload, graph, trace.total_seconds)
+        fractions = trace.gpu_time_fractions()
+        print(f"{name:<18s} {trace.total_seconds:7.1f} s/iter  {pflops:6.2f} PFLOP/s  "
+              f"(estimated {estimator.time_cost(plan).total_seconds:.1f} s, "
+              f"compute share {fractions['compute']:.0%})")
+
+    heuristic_time = engine.run_iteration(graph, heuristic).total_seconds
+    searched_time = engine.run_iteration(graph, result.best_plan).total_seconds
+    print(f"\nSpeedup of the searched plan over the heuristic: "
+          f"{heuristic_time / searched_time:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Functional RLHF on the tiny NumPy transformer: PPO, DPO, GRPO and ReMax.
+
+The planning stack treats models analytically; this example exercises the
+*numerics* of the four RLHF algorithms end-to-end on a synthetic task.  The
+scripted reward pays for emitting a target token, so a learning curve that
+rises over iterations demonstrates that each algorithm's dataflow (the same
+DAGs the planner schedules) is functionally correct.
+
+Run with::
+
+    python examples/tiny_rlhf_training.py [--iterations 15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.rlhf import (
+    DPOTrainer,
+    GRPOTrainer,
+    PPOConfig,
+    PPOTrainer,
+    ReMaxTrainer,
+    RLHFTask,
+)
+
+
+def sparkline(values, width: int = 24) -> str:
+    """Render a tiny text sparkline of a learning curve."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    if len(values) <= width:
+        picks = list(values)
+    else:
+        picks = [values[int(i * (len(values) - 1) / (width - 1))] for i in range(width)]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in picks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    task = RLHFTask(vocab_size=10, prompt_len=2, gen_len=4, batch_size=24,
+                    target_token=3, seed=args.seed)
+    trainers = {
+        "PPO": PPOTrainer(task, PPOConfig(n_minibatches=2, learning_rate=8e-3, kl_coef=0.02),
+                          seed=args.seed),
+        "ReMax": ReMaxTrainer(task, lr=8e-3, seed=args.seed),
+        "GRPO": GRPOTrainer(RLHFTask(vocab_size=10, prompt_len=2, gen_len=4, batch_size=8,
+                                     target_token=3, seed=args.seed),
+                            group_size=4, lr=8e-3, seed=args.seed),
+        "DPO": DPOTrainer(task, beta=0.5, lr=5e-3, seed=args.seed),
+    }
+
+    print(f"Task: emit token {task.target_token} (reward = fraction of target tokens), "
+          f"{args.iterations} iterations\n")
+    for name, trainer in trainers.items():
+        stats = trainer.train(args.iterations)
+        rewards = [s.mean_reward for s in stats]
+        print(f"{name:<6s} reward {rewards[0]:.2f} -> {rewards[-1]:.2f}   {sparkline(rewards)}")
+
+    print("\nEach algorithm runs the same model-function-call dataflow that the\n"
+          "execution-plan generator schedules at scale (Figure 4 / Figure 16).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All package metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (e.g.
+offline clusters) via ``python setup.py develop --user`` or
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

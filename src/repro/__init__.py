@@ -1,0 +1,65 @@
+"""repro: a reproduction of "ReaL: Efficient RLHF Training of Large Language
+Models with Parameter Reallocation" (MLSys 2025).
+
+The package is organised by subsystem:
+
+* :mod:`repro.cluster` — the simulated hardware substrate (GPUs, meshes, links).
+* :mod:`repro.model` — LLaMA-3 configurations and analytical FLOP/memory models.
+* :mod:`repro.core` — dataflow graphs, execution plans, the profiling-assisted
+  estimator and the MCMC execution-plan search (the paper's core contribution).
+* :mod:`repro.realloc` — parameter reallocation between 3D layouts (Figure 6).
+* :mod:`repro.runtime` — the master/worker runtime engine (discrete-event).
+* :mod:`repro.algorithms` — PPO, DPO, GRPO and ReMax dataflow graphs.
+* :mod:`repro.baselines` — DeepSpeed-Chat, OpenRLHF, NeMo-Aligner, veRL and the
+  Megatron heuristic as strategy models, plus ReaL itself.
+* :mod:`repro.experiments` — settings, metrics and runners for every figure.
+* :mod:`repro.rlhf` — a tiny functional NumPy transformer and end-to-end
+  PPO/DPO/GRPO/ReMax training loops.
+"""
+
+from . import algorithms, baselines, cluster, core, experiments, model, realloc, rlhf, runtime
+from .cluster import ClusterSpec, DeviceMesh, make_cluster
+from .core import (
+    Allocation,
+    DataflowGraph,
+    ExecutionPlan,
+    FunctionCallType,
+    ModelFunctionCall,
+    ParallelStrategy,
+    RLHFWorkload,
+    RuntimeEstimator,
+    SearchConfig,
+    instructgpt_workload,
+    search_execution_plan,
+)
+from .runtime import RuntimeEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "cluster",
+    "model",
+    "core",
+    "realloc",
+    "runtime",
+    "algorithms",
+    "baselines",
+    "experiments",
+    "rlhf",
+    "ClusterSpec",
+    "DeviceMesh",
+    "make_cluster",
+    "FunctionCallType",
+    "ModelFunctionCall",
+    "DataflowGraph",
+    "ParallelStrategy",
+    "Allocation",
+    "ExecutionPlan",
+    "RLHFWorkload",
+    "instructgpt_workload",
+    "RuntimeEstimator",
+    "SearchConfig",
+    "search_execution_plan",
+    "RuntimeEngine",
+]

@@ -1,0 +1,20 @@
+"""Dataflow-graph builders for PPO, DPO, GRPO and ReMax."""
+
+from .dpo import build_dpo_graph
+from .grpo import DEFAULT_GROUP_SIZE, build_grpo_graph
+from .ppo import PPO_CALL_NAMES, build_ppo_graph
+from .registry import ALGORITHMS, available_algorithms, build_graph, register_algorithm
+from .remax import build_remax_graph
+
+__all__ = [
+    "build_ppo_graph",
+    "PPO_CALL_NAMES",
+    "build_dpo_graph",
+    "build_grpo_graph",
+    "DEFAULT_GROUP_SIZE",
+    "build_remax_graph",
+    "ALGORITHMS",
+    "build_graph",
+    "available_algorithms",
+    "register_algorithm",
+]

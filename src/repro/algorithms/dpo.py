@@ -1,0 +1,36 @@
+"""The DPO dataflow graph (Figure 16 of the paper).
+
+Direct Preference Optimization needs no generation and no critic: a reference
+model scores the preferred/rejected completion pairs, and the actor is trained
+on the DPO loss.  The batch carries two sequences per preference pair, which
+is expressed with ``batch_scale=2``.
+"""
+
+from __future__ import annotations
+
+from ..core.dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+
+__all__ = ["build_dpo_graph"]
+
+
+def build_dpo_graph() -> DataflowGraph:
+    """Build the DPO dataflow graph: reference inference then actor training."""
+    calls = [
+        ModelFunctionCall(
+            name="ref_inference",
+            model_name="ref",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("pairs",),
+            output_keys=("ref_logp",),
+            batch_scale=2.0,
+        ),
+        ModelFunctionCall(
+            name="actor_train",
+            model_name="actor",
+            call_type=FunctionCallType.TRAIN_STEP,
+            input_keys=("pairs", "ref_logp"),
+            output_keys=("actor_update",),
+            batch_scale=2.0,
+        ),
+    ]
+    return DataflowGraph(calls=calls, external_inputs=("pairs",), name="dpo")

@@ -1,0 +1,59 @@
+"""The GRPO dataflow graph (Figure 16 of the paper).
+
+Group Relative Policy Optimization removes the critic: the actor generates a
+*group* of responses per prompt (the paper uses a group size of 8, making the
+workload much more compute-bound), the reward model scores them, the reference
+model provides KL regularisation, and group-normalised advantages train the
+actor.
+"""
+
+from __future__ import annotations
+
+from ..core.dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+
+__all__ = ["build_grpo_graph", "DEFAULT_GROUP_SIZE"]
+
+DEFAULT_GROUP_SIZE = 8
+"""Number of responses sampled per prompt (the paper's 8x batch increase)."""
+
+
+def build_grpo_graph(group_size: int = DEFAULT_GROUP_SIZE) -> DataflowGraph:
+    """Build the GRPO dataflow graph with ``group_size`` samples per prompt."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    scale = float(group_size)
+    calls = [
+        ModelFunctionCall(
+            name="actor_generate",
+            model_name="actor",
+            call_type=FunctionCallType.GENERATE,
+            input_keys=("prompts",),
+            output_keys=("seq", "logp"),
+            batch_scale=scale,
+        ),
+        ModelFunctionCall(
+            name="reward_inference",
+            model_name="reward",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("seq",),
+            output_keys=("rewards",),
+            batch_scale=scale,
+        ),
+        ModelFunctionCall(
+            name="ref_inference",
+            model_name="ref",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("seq",),
+            output_keys=("ref_logp",),
+            batch_scale=scale,
+        ),
+        ModelFunctionCall(
+            name="actor_train",
+            model_name="actor",
+            call_type=FunctionCallType.TRAIN_STEP,
+            input_keys=("seq", "logp", "rewards", "ref_logp"),
+            output_keys=("actor_update",),
+            batch_scale=scale,
+        ),
+    ]
+    return DataflowGraph(calls=calls, external_inputs=("prompts",), name="grpo")

@@ -1,0 +1,78 @@
+"""The PPO RLHF dataflow graph (Figure 4 of the paper).
+
+One PPO iteration performs six model function calls on four LLMs: the actor
+generates responses to a batch of prompts; the reward, reference and critic
+models run inference over the generated sequences; and finally the actor and
+critic are trained on the resulting advantages, each over several sequential
+PPO minibatches.
+"""
+
+from __future__ import annotations
+
+from ..core.dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+
+__all__ = ["build_ppo_graph", "PPO_CALL_NAMES"]
+
+PPO_CALL_NAMES = (
+    "actor_generate",
+    "reward_inference",
+    "ref_inference",
+    "critic_inference",
+    "actor_train",
+    "critic_train",
+)
+"""The six function call names of the PPO workflow, in topological order."""
+
+
+def build_ppo_graph() -> DataflowGraph:
+    """Build the standard PPO dataflow graph.
+
+    Data dependencies: the three inference calls all consume the generated
+    sequences; actor training consumes rewards, reference log-probs and
+    values (via advantages); critic training consumes rewards and values.
+    """
+    calls = [
+        ModelFunctionCall(
+            name="actor_generate",
+            model_name="actor",
+            call_type=FunctionCallType.GENERATE,
+            input_keys=("prompts",),
+            output_keys=("seq", "logp"),
+        ),
+        ModelFunctionCall(
+            name="reward_inference",
+            model_name="reward",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("seq",),
+            output_keys=("rewards",),
+        ),
+        ModelFunctionCall(
+            name="ref_inference",
+            model_name="ref",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("seq",),
+            output_keys=("ref_logp",),
+        ),
+        ModelFunctionCall(
+            name="critic_inference",
+            model_name="critic",
+            call_type=FunctionCallType.INFERENCE,
+            input_keys=("seq",),
+            output_keys=("values",),
+        ),
+        ModelFunctionCall(
+            name="actor_train",
+            model_name="actor",
+            call_type=FunctionCallType.TRAIN_STEP,
+            input_keys=("seq", "logp", "rewards", "ref_logp", "values"),
+            output_keys=("actor_update",),
+        ),
+        ModelFunctionCall(
+            name="critic_train",
+            model_name="critic",
+            call_type=FunctionCallType.TRAIN_STEP,
+            input_keys=("seq", "rewards", "ref_logp", "values"),
+            output_keys=("critic_update",),
+        ),
+    ]
+    return DataflowGraph(calls=calls, external_inputs=("prompts",), name="ppo")

@@ -1,0 +1,54 @@
+"""Registry of RLHF algorithm dataflow-graph builders.
+
+Any RLHF algorithm representable as a DAG of generation, inference and
+training calls can be planned by ReaL (Section 4, "Beyond PPO").  New
+algorithms register a builder here and immediately benefit from the plan
+search, the runtime engine and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.dataflow import DataflowGraph
+from .dpo import build_dpo_graph
+from .grpo import build_grpo_graph
+from .ppo import build_ppo_graph
+from .remax import build_remax_graph
+
+__all__ = ["ALGORITHMS", "build_graph", "available_algorithms", "register_algorithm"]
+
+GraphBuilder = Callable[[], DataflowGraph]
+
+ALGORITHMS: Dict[str, GraphBuilder] = {
+    "ppo": build_ppo_graph,
+    "dpo": build_dpo_graph,
+    "grpo": build_grpo_graph,
+    "remax": build_remax_graph,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered RLHF algorithms."""
+    return sorted(ALGORITHMS)
+
+
+def build_graph(algorithm: str) -> DataflowGraph:
+    """Build the dataflow graph of a registered algorithm."""
+    key = algorithm.lower()
+    if key not in ALGORITHMS:
+        raise KeyError(
+            f"unknown RLHF algorithm {algorithm!r}; available: {available_algorithms()}"
+        )
+    return ALGORITHMS[key]()
+
+
+def register_algorithm(name: str, builder: GraphBuilder, overwrite: bool = False) -> None:
+    """Register a new algorithm's dataflow-graph builder.
+
+    Raises ``ValueError`` if the name is taken and ``overwrite`` is False.
+    """
+    key = name.lower()
+    if key in ALGORITHMS and not overwrite:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    ALGORITHMS[key] = builder

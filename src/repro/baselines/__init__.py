@@ -1,0 +1,41 @@
+"""Baseline RLHF systems reproduced as placement/parallelization strategy models."""
+
+from .base import (
+    BaselineSystem,
+    InfeasiblePlanError,
+    SystemEvaluation,
+    megatron_heuristic_allocation,
+    pick_microbatches,
+    split_cluster_into_groups,
+)
+from .dschat import DeepSpeedChatSystem
+from .heuristic import RealHeuristicSystem, build_heuristic_plan
+from .nemo import NeMoAlignerSystem
+from .openrlhf import OpenRLHFSystem
+from .real import RealSystem
+from .verl import VeRLSystem
+
+__all__ = [
+    "BaselineSystem",
+    "SystemEvaluation",
+    "InfeasiblePlanError",
+    "megatron_heuristic_allocation",
+    "pick_microbatches",
+    "split_cluster_into_groups",
+    "RealHeuristicSystem",
+    "build_heuristic_plan",
+    "DeepSpeedChatSystem",
+    "OpenRLHFSystem",
+    "NeMoAlignerSystem",
+    "VeRLSystem",
+    "RealSystem",
+]
+
+ALL_BASELINES = (
+    DeepSpeedChatSystem,
+    OpenRLHFSystem,
+    NeMoAlignerSystem,
+    VeRLSystem,
+    RealHeuristicSystem,
+)
+"""The comparison set of Figure 7 (excluding ReaL itself)."""

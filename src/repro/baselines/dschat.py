@@ -1,0 +1,82 @@
+"""DeepSpeed-Chat baseline: symmetric ZeRO-3 data parallelism + HybridEngine.
+
+DeepSpeed-Chat (Yao et al., 2023) executes the model function calls
+sequentially, using ZeRO-3 data parallelism across all GPUs for training and
+inference of every model.  Its Hybrid Engine temporarily reshards the ZeRO-3
+partitions into tensor parallelism for the generation task and reverts
+afterwards; beyond this mechanism it supports neither TP nor PP, and the
+generation path cannot micro-batch the decoding KV cache, which is why it runs
+out of memory for the larger actors in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cluster.hardware import ClusterSpec
+from ..cluster.topology import full_cluster_mesh
+from ..core.dataflow import DataflowGraph, FunctionCallType
+from ..core.parallel import ParallelStrategy
+from ..core.plan import Allocation, ExecutionPlan
+from ..core.workload import RLHFWorkload
+from .base import BaselineSystem, InfeasiblePlanError, pick_microbatches
+
+__all__ = ["DeepSpeedChatSystem"]
+
+
+class DeepSpeedChatSystem(BaselineSystem):
+    """Strategy model of DeepSpeed-Chat (commit f73a6ed, DeepSpeed v0.15.1)."""
+
+    name = "DeepSpeedChat"
+
+    #: Fraction of the optimised decode bandwidth DeepSpeed-Chat's HF-style
+    #: generation loop achieves (no paged attention, no fused decode kernels).
+    GENERATION_EFFICIENCY = 0.35
+
+    def uses_cuda_graph(self) -> bool:
+        # DeepSpeed-Chat's generation loop does not capture CUDA graphs.
+        return False
+
+    def adjust_cluster(self, cluster: ClusterSpec) -> ClusterSpec:
+        import dataclasses
+
+        derated_gpu = dataclasses.replace(
+            cluster.gpu,
+            decode_efficiency=cluster.gpu.decode_efficiency * self.GENERATION_EFFICIENCY,
+        )
+        return dataclasses.replace(cluster, gpu=derated_gpu)
+
+    def build_plan(
+        self, graph: DataflowGraph, workload: RLHFWorkload, cluster: ClusterSpec
+    ) -> ExecutionPlan:
+        mesh = full_cluster_mesh(cluster)
+        n = mesh.n_gpus
+        assignments: Dict[str, Allocation] = {}
+        for call in graph.calls:
+            config = workload.model_config(call.model_name)
+            wl = workload.call_workload(call)
+            if call.call_type is FunctionCallType.GENERATE:
+                # HybridEngine: reshard to TP within the node for generation;
+                # the whole batch is decoded at once (no KV micro-batching).
+                tp = min(cluster.gpus_per_node, n)
+                while config.n_heads % tp != 0 and tp > 1:
+                    tp //= 2
+                strategy = ParallelStrategy(dp=n // tp, tp=tp, pp=1)
+                assignments[call.name] = Allocation(
+                    mesh=mesh, parallel=strategy, n_microbatches=1
+                )
+            else:
+                # ZeRO-3 pure data parallelism for training and inference.
+                strategy = ParallelStrategy(dp=n, tp=1, pp=1)
+                if strategy.dp > wl.batch_size:
+                    raise InfeasiblePlanError(
+                        f"ZeRO-3 DP degree {n} exceeds the batch size {wl.batch_size}"
+                    )
+                mbs = pick_microbatches(
+                    config, call.call_type, workload, strategy, cluster,
+                    batch_size=wl.batch_size, zero3=True,
+                )
+                assignments[call.name] = Allocation(
+                    mesh=mesh, parallel=strategy, n_microbatches=mbs, zero3=True
+                )
+        return ExecutionPlan(assignments, name="deepspeed-chat")

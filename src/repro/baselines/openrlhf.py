@@ -1,0 +1,85 @@
+"""OpenRLHF baseline: three disjoint GPU groups with a dedicated vLLM engine.
+
+OpenRLHF (Hu et al., 2024) divides the cluster into three groups holding (1) a
+vLLM generation engine, (2) the actor and reference models, and (3) the critic
+and reward models.  Actor and critic training can run concurrently, but the
+generation group sits idle during training and the training groups sit idle
+during generation, because of the data and parameter dependencies — the
+under-utilisation the paper's Figure 1 (middle) illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cluster.hardware import ClusterSpec
+from ..core.dataflow import DataflowGraph, FunctionCallType
+from ..core.parallel import ParallelStrategy
+from ..core.plan import Allocation, ExecutionPlan
+from ..core.workload import RLHFWorkload
+from .base import (
+    BaselineSystem,
+    InfeasiblePlanError,
+    pick_microbatches,
+    split_cluster_into_groups,
+)
+
+__all__ = ["OpenRLHFSystem"]
+
+
+class OpenRLHFSystem(BaselineSystem):
+    """Strategy model of OpenRLHF v0.4.2 (vLLM generation + ZeRO-3 training)."""
+
+    name = "OpenRLHF"
+
+    def build_plan(
+        self, graph: DataflowGraph, workload: RLHFWorkload, cluster: ClusterSpec
+    ) -> ExecutionPlan:
+        if cluster.n_gpus < 3:
+            raise InfeasiblePlanError("OpenRLHF needs at least 3 GPUs for its three groups")
+        actor_group, generation_group, critic_group = split_cluster_into_groups(
+            cluster, (0.5, 0.25, 0.25)
+        )
+        group_of_model = {
+            "actor": actor_group,
+            "ref": actor_group,
+            "critic": critic_group,
+            "reward": critic_group,
+        }
+        assignments: Dict[str, Allocation] = {}
+        for call in graph.calls:
+            config = workload.model_config(call.model_name)
+            wl = workload.call_workload(call)
+            if call.call_type is FunctionCallType.GENERATE:
+                mesh = generation_group
+                # vLLM: tensor parallelism within the node, data parallel
+                # engine replicas across nodes; continuous batching is modelled
+                # as micro-batching the prompt set to bound the KV cache.
+                tp = min(cluster.gpus_per_node, mesh.n_gpus)
+                while (config.n_heads % tp != 0 or tp > mesh.n_gpus) and tp > 1:
+                    tp //= 2
+                strategy = ParallelStrategy(dp=mesh.n_gpus // tp, tp=tp, pp=1)
+                mbs = pick_microbatches(
+                    config, call.call_type, workload, strategy, cluster,
+                    batch_size=wl.batch_size,
+                )
+                assignments[call.name] = Allocation(
+                    mesh=mesh, parallel=strategy, n_microbatches=mbs
+                )
+                continue
+            mesh = group_of_model.get(call.model_name, actor_group)
+            # DeepSpeed ZeRO-3 data parallelism inside the group.
+            dp = mesh.n_gpus
+            if dp > wl.batch_size:
+                raise InfeasiblePlanError(
+                    f"ZeRO-3 DP degree {dp} exceeds the batch size {wl.batch_size}"
+                )
+            strategy = ParallelStrategy(dp=dp, tp=1, pp=1)
+            mbs = pick_microbatches(
+                config, call.call_type, workload, strategy, cluster,
+                batch_size=wl.batch_size, zero3=True,
+            )
+            assignments[call.name] = Allocation(
+                mesh=mesh, parallel=strategy, n_microbatches=mbs, zero3=True
+            )
+        return ExecutionPlan(assignments, name="openrlhf")

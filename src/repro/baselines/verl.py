@@ -1,0 +1,81 @@
+"""veRL (HybridFlow) baseline: colocated models with per-call resharding.
+
+veRL (Sheng et al., 2024) is concurrent work that colocates all models on the
+full cluster (or supports split placement) and reshards parameters between a
+generation backend (vLLM/SGLang) and a training backend (Megatron/FSDP).  We
+model its strongest configuration: every call runs on the entire cluster, the
+generation call uses the serving-style layout (TP within a node, DP across),
+and training/inference calls use the Megatron heuristic layout.  Compared with
+ReaL, veRL cannot run independent calls concurrently on smaller meshes nor
+tailor mesh sizes per call, which is exactly the gap the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cluster.hardware import ClusterSpec
+from ..cluster.topology import full_cluster_mesh
+from ..core.dataflow import DataflowGraph, FunctionCallType
+from ..core.estimator import RuntimeEstimator
+from ..core.parallel import ParallelStrategy
+from ..core.plan import Allocation, ExecutionPlan
+from ..core.workload import RLHFWorkload
+from .base import (
+    MEMORY_FRACTION_SCHEDULE,
+    BaselineSystem,
+    InfeasiblePlanError,
+    megatron_heuristic_allocation,
+    pick_microbatches,
+)
+
+__all__ = ["VeRLSystem"]
+
+
+class VeRLSystem(BaselineSystem):
+    """Strategy model of veRL/HybridFlow v0.2.0 (vLLM + FSDP/Megatron)."""
+
+    name = "veRL"
+
+    def _serving_allocation(
+        self, config, workload: RLHFWorkload, mesh, cluster: ClusterSpec, batch_size: int
+    ) -> Allocation:
+        """vLLM-style layout: TP within a node, engine replicas across nodes."""
+        tp = min(cluster.gpus_per_node, mesh.n_gpus)
+        while config.n_heads % tp != 0 and tp > 1:
+            tp //= 2
+        strategy = ParallelStrategy(dp=mesh.n_gpus // tp, tp=tp, pp=1)
+        mbs = pick_microbatches(
+            config, FunctionCallType.GENERATE, workload, strategy, cluster, batch_size=batch_size
+        )
+        return Allocation(mesh=mesh, parallel=strategy, n_microbatches=mbs)
+
+    def build_plan(
+        self, graph: DataflowGraph, workload: RLHFWorkload, cluster: ClusterSpec
+    ) -> ExecutionPlan:
+        mesh = full_cluster_mesh(cluster)
+        last_error = None
+        for fraction in MEMORY_FRACTION_SCHEDULE:
+            try:
+                assignments: Dict[str, Allocation] = {}
+                for call in graph.calls:
+                    config = workload.model_config(call.model_name)
+                    wl = workload.call_workload(call)
+                    if call.call_type is FunctionCallType.GENERATE:
+                        assignments[call.name] = self._serving_allocation(
+                            config, workload, mesh, cluster, wl.batch_size
+                        )
+                    else:
+                        assignments[call.name] = megatron_heuristic_allocation(
+                            config, call.call_type, workload, mesh, cluster,
+                            batch_size=wl.batch_size, memory_fraction=fraction,
+                        )
+                plan = ExecutionPlan(assignments, name="verl")
+            except InfeasiblePlanError as exc:
+                last_error = exc
+                continue
+            if RuntimeEstimator(graph, workload, cluster).is_feasible(plan):
+                return plan
+        raise InfeasiblePlanError(
+            str(last_error) if last_error else "no veRL placement fits in device memory"
+        )

@@ -1,0 +1,96 @@
+"""ReaL's core: dataflow graphs, execution plans, estimator and MCMC search."""
+
+from .api import (
+    GENERATE,
+    INFERENCE,
+    TRAIN_STEP,
+    ExperimentConfig,
+    ModelFunctionCallDef,
+    auto,
+    build_graph_from_defs,
+    find_execution_plan,
+)
+from .brute_force import BruteForceResult, brute_force_search
+from .call_cost import CallCostModel, CostBreakdown
+from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+from .estimator import (
+    DEFAULT_OOM_PENALTY,
+    MemoryEstimate,
+    RuntimeEstimator,
+    TimeCostResult,
+)
+from .parallel import ParallelStrategy, enumerate_strategies, factorize_3d
+from .plan import (
+    Allocation,
+    DataTransferEdge,
+    ExecutionPlan,
+    ReallocationEdge,
+    data_transfer_edges,
+    reallocation_edges,
+    symmetric_plan,
+)
+from .profiler import (
+    AnalyticalProvider,
+    LayerTimeProvider,
+    ProfiledProvider,
+    Profiler,
+    ProfileStats,
+)
+from .pruning import PruneConfig, allocation_options, enumerate_allocations, search_space_size
+from .search import MCMCSearcher, SearchConfig, SearchResult, search_execution_plan
+from .workload import CallWorkload, RLHFWorkload, instructgpt_workload
+
+__all__ = [
+    # dataflow
+    "FunctionCallType",
+    "ModelFunctionCall",
+    "DataflowGraph",
+    # workload
+    "CallWorkload",
+    "RLHFWorkload",
+    "instructgpt_workload",
+    # parallelism / plan
+    "ParallelStrategy",
+    "enumerate_strategies",
+    "factorize_3d",
+    "Allocation",
+    "ExecutionPlan",
+    "ReallocationEdge",
+    "DataTransferEdge",
+    "reallocation_edges",
+    "data_transfer_edges",
+    "symmetric_plan",
+    # estimator
+    "CallCostModel",
+    "CostBreakdown",
+    "RuntimeEstimator",
+    "TimeCostResult",
+    "MemoryEstimate",
+    "DEFAULT_OOM_PENALTY",
+    # profiler
+    "Profiler",
+    "ProfileStats",
+    "LayerTimeProvider",
+    "AnalyticalProvider",
+    "ProfiledProvider",
+    # search
+    "PruneConfig",
+    "enumerate_allocations",
+    "allocation_options",
+    "search_space_size",
+    "SearchConfig",
+    "SearchResult",
+    "MCMCSearcher",
+    "search_execution_plan",
+    "BruteForceResult",
+    "brute_force_search",
+    # api
+    "GENERATE",
+    "INFERENCE",
+    "TRAIN_STEP",
+    "ModelFunctionCallDef",
+    "ExperimentConfig",
+    "auto",
+    "build_graph_from_defs",
+    "find_execution_plan",
+]

@@ -1,0 +1,195 @@
+"""User-facing experiment API, mirroring the interface of the paper (Figure 18).
+
+Users describe their RLHF workflow as a list of :class:`ModelFunctionCallDef`
+objects (model name, model type, function-call type and data dependencies),
+wrap the experiment in :func:`auto`, and ReaL derives an efficient execution
+plan automatically.  :func:`find_execution_plan` is the programmatic
+equivalent used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.hardware import ClusterSpec, make_cluster
+from ..model.config import ModelConfig, get_model_config
+from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+from .estimator import RuntimeEstimator
+from .plan import ExecutionPlan
+from .pruning import PruneConfig
+from .search import SearchConfig, SearchResult, search_execution_plan
+from .workload import RLHFWorkload
+
+__all__ = [
+    "GENERATE",
+    "INFERENCE",
+    "TRAIN_STEP",
+    "ModelFunctionCallDef",
+    "ExperimentConfig",
+    "auto",
+    "build_graph_from_defs",
+    "find_execution_plan",
+]
+
+# Aliases matching the paper's API surface.
+GENERATE = FunctionCallType.GENERATE
+INFERENCE = FunctionCallType.INFERENCE
+TRAIN_STEP = FunctionCallType.TRAIN_STEP
+
+
+@dataclass(frozen=True)
+class ModelFunctionCallDef:
+    """Declarative definition of one model function call.
+
+    ``model_type`` names the architecture (e.g. ``"llama7b"`` or
+    ``"llama7b-critic"``); calls sharing the same ``model_name`` must use the
+    same architecture and share parameters.
+    """
+
+    model_name: str
+    interface_type: FunctionCallType
+    input_data: Tuple[str, ...] = ()
+    output_data: Tuple[str, ...] = ()
+    model_type: Optional[str] = None
+    call_name: Optional[str] = None
+    batch_scale: float = 1.0
+
+    def resolved_name(self, index: int) -> str:
+        """Unique call name: explicit name or ``<model>_<type>_<index>``."""
+        if self.call_name:
+            return self.call_name
+        return f"{self.model_name}_{self.interface_type.value}_{index}"
+
+
+def _parse_model_type(model_type: str) -> ModelConfig:
+    """Parse a model-type string such as ``"llama7b"`` or ``"llama13b-critic"``."""
+    text = model_type.lower()
+    critic = "critic" in text
+    for size in ("70b", "34b", "13b", "7b"):
+        if size in text:
+            return get_model_config(size, critic=critic)
+    raise ValueError(f"cannot parse model type {model_type!r}")
+
+
+def build_graph_from_defs(
+    defs: Sequence[ModelFunctionCallDef],
+    external_inputs: Sequence[str] = ("prompts",),
+    name: str = "custom",
+) -> Tuple[DataflowGraph, Dict[str, ModelConfig]]:
+    """Build a dataflow graph and model-config map from call definitions."""
+    calls: List[ModelFunctionCall] = []
+    configs: Dict[str, ModelConfig] = {}
+    for index, call_def in enumerate(defs):
+        calls.append(
+            ModelFunctionCall(
+                name=call_def.resolved_name(index),
+                model_name=call_def.model_name,
+                call_type=call_def.interface_type,
+                input_keys=tuple(call_def.input_data),
+                output_keys=tuple(call_def.output_data),
+                batch_scale=call_def.batch_scale,
+            )
+        )
+        if call_def.model_type is not None:
+            config = _parse_model_type(call_def.model_type)
+            existing = configs.get(call_def.model_name)
+            if existing is not None and existing.name != config.name:
+                raise ValueError(
+                    f"model {call_def.model_name!r} declared with two architectures "
+                    f"({existing.name} vs {config.name})"
+                )
+            configs[call_def.model_name] = config
+    graph = DataflowGraph(calls=calls, external_inputs=tuple(external_inputs), name=name)
+    missing = set(graph.model_names()) - set(configs)
+    if missing:
+        raise ValueError(f"no model_type declared for models: {sorted(missing)}")
+    return graph, configs
+
+
+@dataclass
+class ExperimentConfig:
+    """A fully specified experiment ready for plan search and execution."""
+
+    graph: DataflowGraph
+    workload: RLHFWorkload
+    cluster: ClusterSpec
+    search: SearchConfig = field(default_factory=SearchConfig)
+    prune: PruneConfig = field(default_factory=PruneConfig)
+
+    def run_search(self) -> SearchResult:
+        """Search for an efficient execution plan for this experiment."""
+        return search_execution_plan(
+            self.graph, self.workload, self.cluster, prune=self.prune, config=self.search
+        )
+
+
+def auto(
+    rpcs: Sequence[ModelFunctionCallDef],
+    n_gpus: int,
+    batch_size: int = 512,
+    prompt_len: int = 1024,
+    gen_len: int = 1024,
+    n_ppo_minibatches: int = 8,
+    gpus_per_node: int = 8,
+    search: SearchConfig = SearchConfig(),
+    prune: PruneConfig = PruneConfig(),
+    external_inputs: Sequence[str] = ("prompts",),
+) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from declarative function-call defs.
+
+    This mirrors the ``@auto`` decorator of the paper's user API: given the
+    RPC definitions, the batch size and the cluster size, it assembles the
+    dataflow graph, the workload and the cluster so that calling
+    :meth:`ExperimentConfig.run_search` yields the execution plan.
+    """
+    graph, configs = build_graph_from_defs(rpcs, external_inputs=external_inputs)
+    workload = RLHFWorkload(
+        model_configs=configs,
+        batch_size=batch_size,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        n_ppo_minibatches=n_ppo_minibatches,
+    )
+    cluster = make_cluster(n_gpus, gpus_per_node=gpus_per_node)
+    return ExperimentConfig(
+        graph=graph, workload=workload, cluster=cluster, search=search, prune=prune
+    )
+
+
+def find_execution_plan(
+    algorithm: str,
+    actor_size: str,
+    critic_size: str,
+    n_gpus: int,
+    batch_size: int = 512,
+    prompt_len: int = 1024,
+    gen_len: int = 1024,
+    n_ppo_minibatches: int = 8,
+    gpus_per_node: int = 8,
+    search: SearchConfig = SearchConfig(),
+    prune: PruneConfig = PruneConfig(),
+) -> Tuple[SearchResult, ExperimentConfig]:
+    """One-call entry point: search a plan for a named RLHF algorithm.
+
+    Returns the search result together with the assembled experiment (graph,
+    workload and cluster) so callers can evaluate or execute the plan.
+    """
+    from ..algorithms.registry import build_graph  # local import avoids a cycle
+    from .workload import instructgpt_workload
+
+    graph = build_graph(algorithm)
+    workload = instructgpt_workload(
+        actor_size=actor_size,
+        critic_size=critic_size,
+        batch_size=batch_size,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        n_ppo_minibatches=n_ppo_minibatches,
+    )
+    cluster = make_cluster(n_gpus, gpus_per_node=gpus_per_node)
+    experiment = ExperimentConfig(
+        graph=graph, workload=workload, cluster=cluster, search=search, prune=prune
+    )
+    result = experiment.run_search()
+    return result, experiment

@@ -1,0 +1,309 @@
+"""The lightweight runtime estimator: TimeCost(Gp), MaxMem(Gp) and cost(Gp).
+
+Given a dataflow graph, a workload and an execution plan, the estimator
+predicts the plan's iteration time with the priority-queue simulation of
+Algorithm 1 (Appendix C of the paper), its peak per-device memory, and the
+search cost that penalises out-of-memory plans:
+
+.. math::
+
+   cost(G_p) = \\mathbb{1}[MaxMem < mem_d] \\cdot TimeCost
+             + (1 - \\mathbb{1}[MaxMem < mem_d]) \\cdot \\alpha \\cdot TimeCost
+
+Evaluating one plan takes a fraction of a millisecond, which is what makes
+the MCMC search over :math:`10^{16}`-sized spaces feasible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..cluster.comm import CommModel
+from ..cluster.hardware import ClusterSpec
+from ..model.memory import PARAM_BYTES
+from ..realloc.cost import ReallocCostModel
+from .call_cost import CallCostModel, CostBreakdown
+from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+from .plan import ExecutionPlan, reallocation_edges
+from .profiler import AnalyticalProvider, LayerTimeProvider, ProfileStats, ProfiledProvider
+from .workload import RLHFWorkload
+
+__all__ = ["TimeCostResult", "MemoryEstimate", "RuntimeEstimator", "DEFAULT_OOM_PENALTY"]
+
+DEFAULT_OOM_PENALTY = 100.0
+"""The large integer alpha multiplying the time cost of OOM-ing plans."""
+
+
+@dataclass
+class TimeCostResult:
+    """Result of the Algorithm-1 simulation of one RLHF iteration."""
+
+    total_seconds: float
+    spans: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    call_seconds: Dict[str, float] = field(default_factory=dict)
+    realloc_seconds: float = 0.0
+    data_transfer_seconds: float = 0.0
+    breakdowns: Dict[str, CostBreakdown] = field(default_factory=dict)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total compute time across calls (not wall time)."""
+        return sum(b.compute for b in self.breakdowns.values())
+
+
+@dataclass
+class MemoryEstimate:
+    """Peak memory usage per GPU and in aggregate."""
+
+    per_gpu: Dict[int, float]
+    static_per_gpu: Dict[int, float]
+
+    @property
+    def max_bytes(self) -> float:
+        """Peak bytes on the most loaded GPU."""
+        return max(self.per_gpu.values(), default=0.0)
+
+    @property
+    def max_static_bytes(self) -> float:
+        """Peak static (gradient + optimizer) bytes on the most loaded GPU."""
+        return max(self.static_per_gpu.values(), default=0.0)
+
+
+class RuntimeEstimator:
+    """Profiling-assisted analytical estimator for execution plans.
+
+    Parameters
+    ----------
+    graph, workload, cluster:
+        The experiment being planned.
+    profiles:
+        Optional per-model :class:`ProfileStats`.  When given, layer times are
+        interpolated from the profiled power-of-two samples (the paper's
+        estimator); otherwise the exact analytical model is used.
+    use_cuda_graph:
+        Whether generation decoding benefits from CUDA-graph capture.
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        workload: RLHFWorkload,
+        cluster: ClusterSpec,
+        profiles: Optional[Mapping[str, ProfileStats]] = None,
+        use_cuda_graph: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.cluster = cluster
+        self.use_cuda_graph = use_cuda_graph
+        self.comm = CommModel(cluster)
+        self.realloc_model = ReallocCostModel(cluster)
+        self._cost_models: Dict[str, CallCostModel] = {}
+        for model_name in graph.model_names():
+            config = workload.model_config(model_name)
+            provider: LayerTimeProvider
+            if profiles is not None and model_name in profiles:
+                provider = ProfiledProvider(config, cluster, profiles[model_name])
+            else:
+                provider = AnalyticalProvider(config, cluster)
+            self._cost_models[model_name] = CallCostModel(
+                config, cluster, provider, use_cuda_graph=use_cuda_graph
+            )
+        self._call_time_cache: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Per-call costs
+    # ------------------------------------------------------------------ #
+    def cost_model(self, model_name: str) -> CallCostModel:
+        """The per-call cost model of one LLM."""
+        return self._cost_models[model_name]
+
+    def call_breakdown(self, call_name: str, alloc) -> CostBreakdown:
+        """Cost breakdown of one call under an allocation."""
+        call = self.graph.get(call_name)
+        wl = self.workload.call_workload(call)
+        return self._cost_models[call.model_name].breakdown(call, wl, alloc)
+
+    def call_time(self, call_name: str, alloc) -> float:
+        """Wall time of one call under an allocation (memoised)."""
+        key = (call_name, alloc.mesh.node_start, alloc.mesh.n_nodes, alloc.mesh.gpu_start,
+               alloc.mesh.gpus_per_node, alloc.parallel, alloc.n_microbatches, alloc.zero3)
+        cached = self._call_time_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.call_breakdown(call_name, alloc).total
+        self._call_time_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Data transfer cost along graph edges
+    # ------------------------------------------------------------------ #
+    def _edge_transfer_time(self, src_name: str, dst_name: str, plan: ExecutionPlan) -> float:
+        """Time to move the producer's output to the consumer's layout.
+
+        Data is partitioned along DP and replicated along TP; moving it to a
+        different mesh/strategy is a broadcast-style redistribution whose
+        volume is the per-token hidden states and scalar outputs of the batch.
+        """
+        src_alloc, dst_alloc = plan[src_name], plan[dst_name]
+        if (
+            src_alloc.mesh == dst_alloc.mesh
+            and src_alloc.parallel.dp == dst_alloc.parallel.dp
+            and src_alloc.parallel.tp == dst_alloc.parallel.tp
+        ):
+            return 0.0
+        dst_call = self.graph.get(dst_name)
+        wl = self.workload.call_workload(dst_call)
+        # Transferred payload: token ids, log-probs, rewards and values are a
+        # few scalars per token; we charge 16 bytes per token of the batch.
+        nbytes = wl.batch_size * wl.seqlen * 16.0
+        cross = src_alloc.mesh.node_ids != dst_alloc.mesh.node_ids
+        return self.comm.p2p_time_cross(nbytes, cross)
+
+    # ------------------------------------------------------------------ #
+    # TimeCost(Gp): Algorithm 1
+    # ------------------------------------------------------------------ #
+    def time_cost(self, plan: ExecutionPlan) -> TimeCostResult:
+        """Simulate one iteration of the plan and return its wall time.
+
+        Nodes become ready when all their parents completed (plus data
+        transfer time); a ready node starts as soon as every GPU of its device
+        mesh is free.  Parameter reallocations are charged to the destination
+        call and additionally occupy the source mesh.
+        """
+        graph, workload = self.graph, self.workload
+        parents = graph.parents_map()
+        children = graph.children_map()
+
+        # Pre-compute per-call durations, reallocation and transfer costs.
+        durations: Dict[str, float] = {}
+        breakdowns: Dict[str, CostBreakdown] = {}
+        for name in graph.call_names:
+            bd = self.call_breakdown(name, plan[name])
+            breakdowns[name] = bd
+            durations[name] = bd.total
+
+        realloc_in: Dict[str, float] = {name: 0.0 for name in graph.call_names}
+        realloc_total = 0.0
+        for edge in reallocation_edges(graph, plan):
+            config = workload.model_config(edge.model_name)
+            cost = self.realloc_model.cost(config, edge.src, edge.dst)
+            realloc_in[edge.dst_call] += cost.seconds
+            realloc_total += cost.seconds
+
+        transfer_total = 0.0
+        edge_transfer: Dict[Tuple[str, str], float] = {}
+        for src_name, dst_name in graph.edges:
+            t = self._edge_transfer_time(src_name, dst_name, plan)
+            edge_transfer[(src_name, dst_name)] = t
+            transfer_total += t
+
+        # Priority-queue simulation (Algorithm 1).
+        ready_time: Dict[str, float] = {name: 0.0 for name in graph.call_names}
+        remaining_parents: Dict[str, int] = {name: len(parents[name]) for name in graph.call_names}
+        gpu_free: Dict[int, float] = {g: 0.0 for g in range(self.cluster.n_gpus)}
+        spans: Dict[str, Tuple[float, float]] = {}
+        completed: set[str] = set()
+
+        heap: list[Tuple[float, str]] = []
+        for name in graph.call_names:
+            if remaining_parents[name] == 0:
+                heapq.heappush(heap, (0.0, name))
+
+        while heap:
+            rt, name = heapq.heappop(heap)
+            if name in completed:
+                continue
+            alloc = plan[name]
+            mesh_gpus = alloc.mesh.device_ids
+            mesh_free = max(gpu_free[g] for g in mesh_gpus)
+            start = max(rt, mesh_free)
+            duration = durations[name] + realloc_in[name] + self.cluster.rpc_overhead_s
+            end = start + duration
+            spans[name] = (start, end)
+            completed.add(name)
+            for g in mesh_gpus:
+                gpu_free[g] = end
+            for child in children[name]:
+                transfer = edge_transfer.get((name, child), 0.0)
+                ready_time[child] = max(ready_time[child], end + transfer)
+                remaining_parents[child] -= 1
+                if remaining_parents[child] == 0:
+                    heapq.heappush(heap, (ready_time[child], child))
+
+        if len(completed) != len(graph.call_names):
+            raise RuntimeError("scheduling simulation did not complete all calls")
+
+        total = max(end for _, end in spans.values())
+        return TimeCostResult(
+            total_seconds=total,
+            spans=spans,
+            call_seconds=durations,
+            realloc_seconds=realloc_total,
+            data_transfer_seconds=transfer_total,
+            breakdowns=breakdowns,
+        )
+
+    # ------------------------------------------------------------------ #
+    # MaxMem(Gp)
+    # ------------------------------------------------------------------ #
+    def max_memory(self, plan: ExecutionPlan) -> MemoryEstimate:
+        """Estimate the peak memory per GPU under the plan.
+
+        Static memory (gradients + optimizer states of trainable models) is
+        pinned to the GPUs of the training allocation for the whole
+        experiment.  Parameters are reallocatable but must reside wherever a
+        call of the model executes; we conservatively keep, per GPU, the
+        largest parameter shard any call places there.  Active memory is the
+        largest activation/KV footprint among the calls running on the GPU.
+        """
+        workload = self.workload
+        static: Dict[int, float] = {g: 0.0 for g in range(self.cluster.n_gpus)}
+        # (gpu, model) -> largest parameter shard any call of the model keeps there.
+        params: Dict[Tuple[int, str], float] = {}
+        active: Dict[int, float] = {g: 0.0 for g in range(self.cluster.n_gpus)}
+
+        for name in self.graph.call_names:
+            call = self.graph.get(name)
+            alloc = plan[name]
+            cm = self._cost_models[call.model_name]
+            wl = workload.call_workload(call)
+            gpus = alloc.mesh.device_ids
+
+            shard_params = workload.model_config(call.model_name).param_count() / (
+                alloc.parallel.tp * alloc.parallel.pp
+            )
+            if alloc.zero3:
+                shard_params /= alloc.parallel.dp
+            param_bytes = shard_params * PARAM_BYTES
+
+            call_static = cm.static_memory(call, alloc)
+            call_active = max(cm.active_memory(call, wl, alloc) - param_bytes, 0.0)
+            for g in gpus:
+                static[g] += call_static
+                key = (g, call.model_name)
+                params[key] = max(params.get(key, 0.0), param_bytes)
+                active[g] = max(active[g], call_active)
+
+        params_per_gpu: Dict[int, float] = {g: 0.0 for g in static}
+        for (g, _model), nbytes in params.items():
+            params_per_gpu[g] += nbytes
+        per_gpu = {g: static[g] + params_per_gpu[g] + active[g] for g in static}
+        return MemoryEstimate(per_gpu=per_gpu, static_per_gpu=static)
+
+    # ------------------------------------------------------------------ #
+    # cost(Gp)
+    # ------------------------------------------------------------------ #
+    def cost(self, plan: ExecutionPlan, oom_penalty: float = DEFAULT_OOM_PENALTY) -> float:
+        """Search cost: time cost with a multiplicative OOM penalty."""
+        time_cost = self.time_cost(plan).total_seconds
+        mem = self.max_memory(plan)
+        if mem.max_bytes < self.cluster.device_memory_bytes:
+            return time_cost
+        return oom_penalty * time_cost
+
+    def is_feasible(self, plan: ExecutionPlan) -> bool:
+        """Whether the plan fits in device memory."""
+        return self.max_memory(plan).max_bytes < self.cluster.device_memory_bytes

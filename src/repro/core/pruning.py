@@ -1,0 +1,166 @@
+"""Search-space construction and pruning for execution plans.
+
+The number of execution plans grows exponentially with the cluster size
+(Section 5.2: more than :math:`10^{16}` plans on 64 GPUs, :math:`10^{24}` on
+1000+ GPUs).  This module enumerates the per-call allocation options and
+implements the pruning heuristics of Section 8.2: tensor parallelism never
+exceeds the node width (inter-node TP is bandwidth-bound), strategies must
+fully occupy their device mesh, obviously-OOM allocations are discarded, and
+the micro-batch count is restricted to a small set of powers of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.hardware import ClusterSpec
+from ..cluster.topology import DeviceMesh, enumerate_device_meshes
+from ..model.config import ModelConfig
+from ..model.memory import MemoryModel
+from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
+from .parallel import ParallelStrategy, enumerate_strategies
+from .plan import Allocation
+from .workload import RLHFWorkload
+
+__all__ = ["PruneConfig", "enumerate_allocations", "allocation_options", "search_space_size"]
+
+DEFAULT_MICROBATCH_CHOICES = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class PruneConfig:
+    """Knobs controlling how aggressively the search space is pruned.
+
+    Attributes
+    ----------
+    max_tp_per_node:
+        Discard strategies whose TP degree exceeds the number of GPUs per
+        node (the paper's main pruning rule).
+    prune_static_oom:
+        Discard allocations whose static + parameter memory already exceeds
+        the device capacity (cheap necessary condition for feasibility).
+    microbatch_choices:
+        Allowed numbers of micro-batches.
+    min_mesh_gpus / max_mesh_gpus:
+        Restrict the size of candidate device meshes (1 = no restriction).
+    mesh_stride:
+        Keep only every ``mesh_stride``-th mesh of each size class; a crude
+        way to emulate coarser pruning levels for the Figure 14 ablation.
+    """
+
+    max_tp_per_node: bool = True
+    prune_static_oom: bool = True
+    microbatch_choices: Sequence[int] = DEFAULT_MICROBATCH_CHOICES
+    min_mesh_gpus: int = 1
+    max_mesh_gpus: Optional[int] = None
+    mesh_stride: int = 1
+    power_of_two_meshes: bool = True
+    """Keep only multi-node meshes whose node count is a power of two and whose
+    start is aligned to that count, so candidate meshes tile the cluster."""
+    sub_node_mesh_gpu_limit: int = 32
+    """Sub-node meshes (fractions of one host) are only considered on clusters
+    of at most this many GPUs; on larger clusters a per-call mesh smaller than
+    one node is never worthwhile and only inflates the search space."""
+
+    def restrict(self, **changes) -> "PruneConfig":
+        """Return a modified copy (dataclasses.replace wrapper)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def _candidate_meshes(cluster: ClusterSpec, prune: PruneConfig) -> List[DeviceMesh]:
+    meshes = enumerate_device_meshes(
+        cluster,
+        min_gpus=prune.min_mesh_gpus,
+        max_gpus=prune.max_mesh_gpus or cluster.n_gpus,
+    )
+    if prune.power_of_two_meshes:
+        kept: List[DeviceMesh] = []
+        for mesh in meshes:
+            if mesh.is_sub_node:
+                if cluster.n_gpus > prune.sub_node_mesh_gpu_limit:
+                    continue
+                kept.append(mesh)
+            elif mesh.is_full_cluster():
+                kept.append(mesh)
+            elif _is_power_of_two(mesh.n_nodes) and mesh.node_start % mesh.n_nodes == 0:
+                kept.append(mesh)
+        meshes = kept
+    if prune.mesh_stride > 1:
+        # Keep every stride-th mesh within each size class so that all sizes
+        # stay represented.
+        by_size: Dict[int, List[DeviceMesh]] = {}
+        for mesh in meshes:
+            by_size.setdefault(mesh.n_gpus, []).append(mesh)
+        meshes = []
+        for size in sorted(by_size):
+            meshes.extend(by_size[size][:: prune.mesh_stride])
+    return meshes
+
+
+def enumerate_allocations(
+    call: ModelFunctionCall,
+    config: ModelConfig,
+    workload: RLHFWorkload,
+    cluster: ClusterSpec,
+    prune: PruneConfig = PruneConfig(),
+) -> List[Allocation]:
+    """All pruned allocation options for one model function call."""
+    wl = workload.call_workload(call)
+    memory = MemoryModel(config)
+    max_tp = cluster.gpus_per_node if prune.max_tp_per_node else None
+    options: List[Allocation] = []
+    for mesh in _candidate_meshes(cluster, prune):
+        strategies = enumerate_strategies(mesh.n_gpus, config, max_tp=max_tp)
+        for strategy in strategies:
+            if strategy.dp > wl.batch_size:
+                continue
+            if prune.prune_static_oom:
+                param_bytes = config.param_count() / (strategy.tp * strategy.pp) * 2
+                static = 0.0
+                if call.call_type is FunctionCallType.TRAIN_STEP:
+                    static = memory.static_bytes_per_gpu(strategy.dp, strategy.tp, strategy.pp)
+                if param_bytes + static > cluster.device_memory_bytes:
+                    continue
+            for mbs in prune.microbatch_choices:
+                per_dp_batch = max(1, wl.batch_size // strategy.dp)
+                if mbs > per_dp_batch:
+                    continue
+                options.append(
+                    Allocation(mesh=mesh, parallel=strategy, n_microbatches=mbs)
+                )
+    if not options:
+        raise ValueError(
+            f"pruning left no feasible allocation for call {call.name!r}; "
+            "relax the PruneConfig"
+        )
+    return options
+
+
+def allocation_options(
+    graph: DataflowGraph,
+    workload: RLHFWorkload,
+    cluster: ClusterSpec,
+    prune: PruneConfig = PruneConfig(),
+) -> Dict[str, List[Allocation]]:
+    """Per-call allocation options for every call of the graph."""
+    return {
+        call.name: enumerate_allocations(
+            call, workload.model_config(call.model_name), workload, cluster, prune
+        )
+        for call in graph.calls
+    }
+
+
+def search_space_size(options: Dict[str, List[Allocation]]) -> float:
+    """Number of execution plans in the (pruned) search space."""
+    size = 1.0
+    for choices in options.values():
+        size *= max(1, len(choices))
+    return size

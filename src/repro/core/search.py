@@ -1,0 +1,228 @@
+"""MCMC-based execution plan search (Section 5.2 of the paper).
+
+The searcher draws execution plans from the energy-based distribution
+:math:`P(p) \\propto \\exp(-\\beta \\cdot cost(G_p))` with the
+Metropolis-Hastings algorithm.  It starts from a greedy plan that minimises
+the sum of per-call times (ignoring overlap and memory), proposes transitions
+that reassign the device mesh, parallel strategy and micro-batch count of a
+random function call, and keeps the lowest-cost plan ever visited.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.hardware import ClusterSpec
+from .dataflow import DataflowGraph
+from .estimator import DEFAULT_OOM_PENALTY, RuntimeEstimator
+from .plan import Allocation, ExecutionPlan
+from .pruning import PruneConfig, allocation_options, search_space_size
+from .workload import RLHFWorkload
+
+__all__ = ["SearchConfig", "SearchResult", "MCMCSearcher", "search_execution_plan"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Hyper-parameters of the Metropolis-Hastings search.
+
+    ``beta`` is the sampling temperature applied to the *normalised* cost
+    (cost divided by the initial plan's cost), which keeps acceptance rates
+    comparable across experiment scales.  The search stops after
+    ``max_iterations`` proposals or ``time_budget_s`` wall-clock seconds,
+    whichever comes first.
+    """
+
+    beta: float = 8.0
+    oom_penalty: float = DEFAULT_OOM_PENALTY
+    max_iterations: int = 2000
+    time_budget_s: float = 30.0
+    seed: int = 0
+    record_history: bool = True
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_plan: ExecutionPlan
+    best_cost: float
+    initial_plan: ExecutionPlan
+    initial_cost: float
+    n_iterations: int
+    n_accepted: int
+    elapsed_seconds: float
+    history: List[Tuple[int, float, float]] = field(default_factory=list)
+    """``(iteration, elapsed_seconds, best_cost_so_far)`` samples."""
+    search_space: float = 0.0
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Best cost relative to the initial plan (lower is better)."""
+        if self.initial_cost <= 0:
+            return 1.0
+        return self.best_cost / self.initial_cost
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of accepted MCMC proposals."""
+        return self.n_accepted / max(1, self.n_iterations)
+
+
+class MCMCSearcher:
+    """Metropolis-Hastings search over per-call allocations."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        workload: RLHFWorkload,
+        cluster: ClusterSpec,
+        estimator: Optional[RuntimeEstimator] = None,
+        options: Optional[Dict[str, List[Allocation]]] = None,
+        prune: PruneConfig = PruneConfig(),
+        config: SearchConfig = SearchConfig(),
+        seed_plans: Optional[Sequence[ExecutionPlan]] = None,
+    ) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.cluster = cluster
+        self.config = config
+        self.estimator = estimator or RuntimeEstimator(graph, workload, cluster)
+        self.options = options or allocation_options(graph, workload, cluster, prune)
+        missing = set(graph.call_names) - set(self.options)
+        if missing:
+            raise ValueError(f"no allocation options for calls: {sorted(missing)}")
+        self.seed_plans = list(seed_plans or [])
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Initialisation
+    # ------------------------------------------------------------------ #
+    def greedy_initial_plan(self) -> ExecutionPlan:
+        """Plan minimising the sum of per-call times in isolation.
+
+        As the paper notes, this plan is usually sub-optimal: every call grabs
+        as many GPUs as help it individually, which prevents concurrent
+        execution and may overload device memory — but it is a good starting
+        point for the Markov chain.
+        """
+        assignments: Dict[str, Allocation] = {}
+        for call_name, choices in self.options.items():
+            best = min(choices, key=lambda a: self.estimator.call_time(call_name, a))
+            assignments[call_name] = best
+        return ExecutionPlan(assignments, name="greedy-initial")
+
+    # ------------------------------------------------------------------ #
+    # MCMC
+    # ------------------------------------------------------------------ #
+    def _propose(self, plan: ExecutionPlan) -> ExecutionPlan:
+        """Propose a neighbouring plan.
+
+        Three move types are mixed: (a) reassign a random call to a random
+        allocation option, (b) align a call with the allocation of another
+        call (which removes a reallocation edge when they share a model), and
+        (c) keep a call's mesh but change its strategy or micro-batch count.
+        """
+        call_names = self.graph.call_names
+        call_name = call_names[int(self._rng.integers(len(call_names)))]
+        choices = self.options[call_name]
+        roll = self._rng.random()
+        if roll < 0.2 and len(call_names) > 1:
+            # Align with another call's allocation if it is a valid option here.
+            other = call_names[int(self._rng.integers(len(call_names)))]
+            if other != call_name:
+                other_alloc = plan[other]
+                if any(
+                    c.mesh == other_alloc.mesh and c.parallel == other_alloc.parallel
+                    for c in choices
+                ):
+                    return plan.with_assignment(call_name, other_alloc)
+        elif roll < 0.45:
+            # Same mesh, different strategy / micro-batch count.
+            current = plan[call_name]
+            same_mesh = [c for c in choices if c.mesh == current.mesh]
+            if same_mesh:
+                new_alloc = same_mesh[int(self._rng.integers(len(same_mesh)))]
+                return plan.with_assignment(call_name, new_alloc)
+        new_alloc = choices[int(self._rng.integers(len(choices)))]
+        return plan.with_assignment(call_name, new_alloc)
+
+    def search(self) -> SearchResult:
+        """Run the Metropolis-Hastings chain and return the best plan found.
+
+        The chain starts from the greedy per-call-optimal plan; any seed plans
+        supplied at construction time (e.g. the Megatron heuristic) are also
+        evaluated, and the best of all starting candidates becomes the chain's
+        initial state.
+        """
+        cfg = self.config
+        start_time = time.perf_counter()
+        current = self.greedy_initial_plan()
+        current_cost = self.estimator.cost(current, cfg.oom_penalty)
+        initial_plan, initial_cost = current, current_cost
+        for seed_plan in self.seed_plans:
+            seed_cost = self.estimator.cost(seed_plan, cfg.oom_penalty)
+            if seed_cost < current_cost:
+                current, current_cost = seed_plan, seed_cost
+        best_plan, best_cost = current, current_cost
+
+        history: List[Tuple[int, float, float]] = []
+        n_accepted = 0
+        iteration = 0
+        while iteration < cfg.max_iterations:
+            elapsed = time.perf_counter() - start_time
+            if elapsed > cfg.time_budget_s:
+                break
+            iteration += 1
+            proposal = self._propose(current)
+            proposal_cost = self.estimator.cost(proposal, cfg.oom_penalty)
+            # Normalise the energy by the best cost found so far so the
+            # temperature stays meaningful across experiment scales and even
+            # when the initial plan is heavily OOM-penalised.
+            scale = max(best_cost, 1e-9)
+            delta = (proposal_cost - current_cost) / scale
+            accept = delta <= 0 or self._rng.random() < math.exp(-cfg.beta * delta)
+            if accept:
+                current, current_cost = proposal, proposal_cost
+                n_accepted += 1
+                if current_cost < best_cost:
+                    best_plan, best_cost = current, current_cost
+            if cfg.record_history:
+                history.append((iteration, time.perf_counter() - start_time, best_cost))
+
+        return SearchResult(
+            best_plan=ExecutionPlan(dict(best_plan.assignments), name="searched"),
+            best_cost=best_cost,
+            initial_plan=initial_plan,
+            initial_cost=initial_cost,
+            n_iterations=iteration,
+            n_accepted=n_accepted,
+            elapsed_seconds=time.perf_counter() - start_time,
+            history=history,
+            search_space=search_space_size(self.options),
+        )
+
+
+def search_execution_plan(
+    graph: DataflowGraph,
+    workload: RLHFWorkload,
+    cluster: ClusterSpec,
+    prune: PruneConfig = PruneConfig(),
+    config: SearchConfig = SearchConfig(),
+    estimator: Optional[RuntimeEstimator] = None,
+) -> SearchResult:
+    """Convenience wrapper: build a searcher and run it once."""
+    searcher = MCMCSearcher(
+        graph=graph,
+        workload=workload,
+        cluster=cluster,
+        estimator=estimator,
+        prune=prune,
+        config=config,
+    )
+    return searcher.search()

@@ -1,0 +1,54 @@
+"""Plain-text table/series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_breakdown"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(col) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str, title: str = "") -> str:
+    """Render named series (figure curves) as a compact table."""
+    rows = []
+    names = list(series)
+    length = max(len(v) for v in series.values())
+    for index in range(length):
+        row: Dict[str, object] = {x_label: index}
+        for name in names:
+            values = series[name]
+            row[name] = round(values[index], 4) if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_breakdown(breakdown: Mapping[str, float], title: str = "") -> str:
+    """Render a cost/time breakdown (seconds or fractions) as aligned lines."""
+    lines = [title] if title else []
+    width = max((len(k) for k in breakdown), default=0)
+    for key, value in breakdown.items():
+        lines.append(f"  {key.ljust(width)}  {value:10.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Experiment runner: evaluate systems on settings and collect records.
+
+The benchmark files under ``benchmarks/`` are thin wrappers around this
+module: each figure/table of the paper maps to one runner function that
+returns the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..baselines import (
+    DeepSpeedChatSystem,
+    NeMoAlignerSystem,
+    OpenRLHFSystem,
+    RealHeuristicSystem,
+    RealSystem,
+    VeRLSystem,
+)
+from ..baselines.base import BaselineSystem, SystemEvaluation
+from ..core.estimator import RuntimeEstimator
+from ..core.search import SearchConfig
+from .metrics import ThroughputRecord, static_memory_utilization
+from .settings import ExperimentSetting
+
+__all__ = [
+    "default_search_config",
+    "default_systems",
+    "evaluate_setting",
+    "run_comparison",
+    "run_heuristic_comparison",
+]
+
+#: Environment variable scaling the MCMC search budget in benchmarks (1.0 = default).
+SEARCH_BUDGET_ENV = "REPRO_SEARCH_BUDGET_SCALE"
+
+
+def _budget_scale() -> float:
+    try:
+        return float(os.environ.get(SEARCH_BUDGET_ENV, "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def default_search_config(seed: int = 0) -> SearchConfig:
+    """Search budget used by the benchmark harness.
+
+    Benchmarks must finish in CI-friendly time, so the default budget is a few
+    thousand proposals; set ``REPRO_SEARCH_BUDGET_SCALE`` to enlarge it for
+    higher-fidelity runs.
+    """
+    scale = _budget_scale()
+    return SearchConfig(
+        max_iterations=int(3000 * scale),
+        time_budget_s=30.0 * scale,
+        seed=seed,
+    )
+
+
+def default_systems(include_real: bool = True, seed: int = 0) -> List[BaselineSystem]:
+    """The Figure 7 comparison set (plus ReaL itself unless disabled)."""
+    systems: List[BaselineSystem] = [
+        DeepSpeedChatSystem(),
+        OpenRLHFSystem(),
+        NeMoAlignerSystem(),
+        VeRLSystem(),
+        RealHeuristicSystem(),
+    ]
+    if include_real:
+        systems.append(RealSystem(search_config=default_search_config(seed)))
+    return systems
+
+
+def evaluate_setting(
+    setting: ExperimentSetting,
+    system: BaselineSystem,
+    n_iterations: int = 1,
+) -> ThroughputRecord:
+    """Evaluate one system on one setting and return a throughput record."""
+    graph = setting.graph()
+    workload = setting.workload()
+    cluster = setting.cluster()
+    evaluation = system.evaluate(graph, workload, cluster, n_iterations=n_iterations)
+    extra: Dict[str, float] = {}
+    if evaluation.feasible and evaluation.plan is not None:
+        estimator = RuntimeEstimator(graph, workload, cluster)
+        memory = estimator.max_memory(evaluation.plan)
+        extra["static_mem_util"] = static_memory_utilization(
+            memory, cluster.device_memory_bytes
+        )
+    return ThroughputRecord(
+        setting=setting.name,
+        system=evaluation.system,
+        feasible=evaluation.feasible,
+        seconds_per_iteration=evaluation.seconds_per_iteration,
+        petaflops=evaluation.petaflops,
+        extra=extra or None,
+    )
+
+
+def run_comparison(
+    settings: Sequence[ExperimentSetting],
+    systems: Optional[Sequence[BaselineSystem]] = None,
+) -> List[ThroughputRecord]:
+    """Evaluate every system on every setting (the Figure 7 grid)."""
+    systems = list(systems) if systems is not None else default_systems()
+    records: List[ThroughputRecord] = []
+    for setting in settings:
+        for system in systems:
+            records.append(evaluate_setting(setting, system))
+    return records
+
+
+def run_heuristic_comparison(
+    settings: Sequence[ExperimentSetting],
+    seed: int = 0,
+) -> List[ThroughputRecord]:
+    """ReaL vs ReaL-Heuristic only (Figures 8 and 16)."""
+    systems: List[BaselineSystem] = [
+        RealHeuristicSystem(),
+        RealSystem(search_config=default_search_config(seed)),
+    ]
+    return run_comparison(settings, systems)

@@ -1,0 +1,118 @@
+"""Analytical FLOP counts for the three RLHF function-call types.
+
+Each RLHF iteration issues three kinds of computation (Section 2.1 of the
+paper): *generation* (a prefill forward pass plus many single-token decoding
+steps), *inference* (one forward pass over prompt + response) and *training*
+(forward, backward and optimizer update).  These functions compute the dense
+FLOPs of each, per layer and per whole model, which the profiler, estimator
+and the throughput metric (PFLOP/s, Figures 7, 8, 16, 17) all share.
+
+Counting convention: a matrix multiplication of an ``(m, k)`` by ``(k, n)``
+matrix costs ``2*m*k*n`` FLOPs; the backward pass of a linear layer costs
+twice its forward pass.
+"""
+
+from __future__ import annotations
+
+from .config import ModelConfig
+
+__all__ = [
+    "attention_forward_flops",
+    "mlp_forward_flops",
+    "layer_forward_flops",
+    "layer_decode_flops",
+    "model_forward_flops",
+    "model_backward_flops",
+    "training_step_flops",
+    "prefill_flops",
+    "decode_step_flops",
+    "generation_flops",
+    "inference_flops",
+    "output_head_flops",
+]
+
+
+def attention_forward_flops(config: ModelConfig, n_tokens: int, kv_len: float) -> float:
+    """Forward FLOPs of one attention block processing ``n_tokens`` tokens.
+
+    ``kv_len`` is the *average* key/value length attended over (for a causal
+    full forward pass over a sequence of length ``s`` this is ``s / 2``).
+    """
+    h = config.hidden_size
+    kv = config.kv_dim
+    proj = 2.0 * n_tokens * (h * h + 2 * h * kv + h * h)
+    # Scores (q @ k^T) and weighted values (attn @ v); queries use all heads.
+    scores = 2.0 * n_tokens * kv_len * config.n_heads * config.head_dim * 2
+    return proj + scores
+
+
+def mlp_forward_flops(config: ModelConfig, n_tokens: int) -> float:
+    """Forward FLOPs of one SwiGLU MLP block processing ``n_tokens`` tokens."""
+    return 2.0 * n_tokens * 3 * config.hidden_size * config.intermediate_size
+
+
+def layer_forward_flops(config: ModelConfig, n_tokens: int, kv_len: float) -> float:
+    """Forward FLOPs of one full transformer layer."""
+    return attention_forward_flops(config, n_tokens, kv_len) + mlp_forward_flops(config, n_tokens)
+
+
+def layer_decode_flops(config: ModelConfig, batch: int, kv_len: float) -> float:
+    """FLOPs of one decoding step (one new token per sequence) in one layer."""
+    return layer_forward_flops(config, batch, kv_len)
+
+
+def output_head_flops(config: ModelConfig, n_tokens: int) -> float:
+    """Forward FLOPs of the output head (LM head logits or scalar value)."""
+    out_dim = 1 if config.is_critic else config.vocab_size
+    return 2.0 * n_tokens * config.hidden_size * out_dim
+
+
+def model_forward_flops(config: ModelConfig, batch: int, seqlen: int) -> float:
+    """Forward FLOPs of the whole model over ``batch`` sequences of ``seqlen``."""
+    n_tokens = batch * seqlen
+    per_layer = layer_forward_flops(config, n_tokens, kv_len=seqlen / 2.0)
+    return config.n_layers * per_layer + output_head_flops(config, n_tokens)
+
+
+def model_backward_flops(config: ModelConfig, batch: int, seqlen: int) -> float:
+    """Backward-pass FLOPs (approximately twice the forward pass)."""
+    return 2.0 * model_forward_flops(config, batch, seqlen)
+
+
+def training_step_flops(config: ModelConfig, batch: int, seqlen: int) -> float:
+    """FLOPs of one training step: forward + backward over the minibatch."""
+    return model_forward_flops(config, batch, seqlen) + model_backward_flops(config, batch, seqlen)
+
+
+def prefill_flops(config: ModelConfig, batch: int, prompt_len: int) -> float:
+    """FLOPs of the generation prefill phase (forward over the prompts)."""
+    return model_forward_flops(config, batch, prompt_len)
+
+
+def decode_step_flops(config: ModelConfig, batch: int, kv_len: float) -> float:
+    """FLOPs of one decoding step across the whole model.
+
+    ``kv_len`` is the current key/value cache length attended over.
+    """
+    per_layer = layer_decode_flops(config, batch, kv_len)
+    return config.n_layers * per_layer + output_head_flops(config, batch)
+
+
+def generation_flops(
+    config: ModelConfig, batch: int, prompt_len: int, gen_len: int
+) -> float:
+    """Total FLOPs of a generation call: prefill plus ``gen_len`` decode steps.
+
+    The decode steps attend over a cache that grows from ``prompt_len`` to
+    ``prompt_len + gen_len``; we charge the average length.
+    """
+    if gen_len <= 0:
+        return prefill_flops(config, batch, prompt_len)
+    avg_kv = prompt_len + gen_len / 2.0
+    decode = gen_len * decode_step_flops(config, batch, avg_kv)
+    return prefill_flops(config, batch, prompt_len) + decode
+
+
+def inference_flops(config: ModelConfig, batch: int, seqlen: int) -> float:
+    """FLOPs of an inference call: one forward pass over prompt + response."""
+    return model_forward_flops(config, batch, seqlen)

@@ -1,0 +1,215 @@
+"""GPU memory footprint models for RLHF function calls.
+
+Section 5.1 of the paper splits runtime memory into *static* memory
+(gradients and optimizer states that persist for the whole experiment) and
+*active* memory (reallocatable parameters, KV cache and activations that only
+live while a function call runs).  This module computes both for a model
+sharded by a 3D parallelization strategy, which the estimator uses for
+``MaxMem(Gp)`` and the OOM penalty of the search cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+
+__all__ = [
+    "MemoryModel",
+    "MemoryBreakdown",
+    "PARAM_BYTES",
+    "GRAD_BYTES",
+    "OPTIMIZER_BYTES_PER_PARAM",
+]
+
+PARAM_BYTES = 2
+"""Bytes per parameter in BF16."""
+
+GRAD_BYTES = 2
+"""Bytes per gradient element in BF16 (reduced in FP32 but stored in BF16)."""
+
+OPTIMIZER_BYTES_PER_PARAM = 12
+"""Adam optimizer state: FP32 master weights + two FP32 moments."""
+
+ACTIVATION_BYTES_PER_TOKEN_FACTOR = 18
+"""Approximate activation bytes per token per layer, divided by hidden size,
+assuming selective activation recomputation (Megatron-LM style)."""
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory footprint of one function call, in bytes."""
+
+    parameters: float
+    gradients: float
+    optimizer: float
+    kv_cache: float
+    activations: float
+
+    @property
+    def static(self) -> float:
+        """Memory that persists across the whole experiment."""
+        return self.gradients + self.optimizer
+
+    @property
+    def active(self) -> float:
+        """Memory only held while the call executes (reallocatable)."""
+        return self.parameters + self.kv_cache + self.activations
+
+    @property
+    def total(self) -> float:
+        """Total footprint of this call on one GPU."""
+        return self.static + self.active
+
+
+class MemoryModel:
+    """Analytical per-GPU memory model of a sharded LLM.
+
+    Parameters are sharded by tensor parallelism and pipeline parallelism and
+    replicated across data parallelism; gradients and optimizer states exist
+    only for trainable models (actor and critic).  ``zero3=True`` models the
+    DeepSpeed ZeRO-3 style sharding of parameters, gradients and optimizer
+    states across the data-parallel group, as used by the DeepSpeed-Chat and
+    OpenRLHF baselines.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Parameter-related footprints
+    # ------------------------------------------------------------------ #
+    def params_per_gpu(self, tp: int, pp: int, dp: int = 1, zero3: bool = False) -> float:
+        """Parameter bytes held by each GPU under a ``(dp, tp, pp)`` strategy."""
+        shard = self.config.param_count() / (tp * pp)
+        if zero3:
+            shard /= dp
+        return shard * PARAM_BYTES
+
+    def grads_per_gpu(self, tp: int, pp: int, dp: int = 1, zero3: bool = False) -> float:
+        """Gradient bytes per GPU for a trainable model."""
+        shard = self.config.param_count() / (tp * pp)
+        if zero3:
+            shard /= dp
+        return shard * GRAD_BYTES
+
+    def optimizer_per_gpu(self, tp: int, pp: int, dp: int = 1, zero3: bool = False) -> float:
+        """Adam optimizer-state bytes per GPU for a trainable model.
+
+        Optimizer states are sharded across the data-parallel group (Megatron
+        distributed optimizer / ZeRO-1), which every system in the comparison
+        supports; ``zero3`` additionally shards parameters and gradients.
+        """
+        shard = self.config.param_count() / (tp * pp * max(1, dp))
+        return shard * OPTIMIZER_BYTES_PER_PARAM
+
+    # ------------------------------------------------------------------ #
+    # Call-dependent footprints
+    # ------------------------------------------------------------------ #
+    def kv_cache_bytes(self, batch: int, seqlen: int, tp: int = 1) -> float:
+        """KV-cache bytes per GPU for ``batch`` sequences of length ``seqlen``."""
+        c = self.config
+        per_token = 2 * c.n_layers * c.kv_dim * PARAM_BYTES
+        return batch * seqlen * per_token / tp
+
+    def activation_bytes(self, n_tokens: int, tp: int, pp: int, n_microbatches: int = 1) -> float:
+        """Peak activation bytes per GPU for a forward/backward pass.
+
+        ``n_tokens`` is the total token count of the call's data on one
+        data-parallel rank; micro-batching divides the live working set.
+        """
+        c = self.config
+        layers_per_stage = max(1, c.n_layers // pp)
+        tokens_live = n_tokens / max(1, n_microbatches)
+        per_layer = ACTIVATION_BYTES_PER_TOKEN_FACTOR * c.hidden_size * tokens_live
+        # With pipelining, up to ``pp`` micro-batches are in flight per stage.
+        in_flight = min(n_microbatches, pp)
+        return layers_per_stage * per_layer * in_flight / tp
+
+    def logits_bytes(self, n_tokens: int, tp: int) -> float:
+        """Bytes of the output logits buffer (the 250 GB softmax issue).
+
+        The paper notes that LLaMA-3's 128k vocabulary makes the softmax
+        logits buffer enormous; micro-batching is the main mitigation.
+        """
+        out_dim = 1 if self.config.is_critic else self.config.vocab_size
+        return n_tokens * out_dim * PARAM_BYTES / tp
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def training_breakdown(
+        self,
+        batch_per_dp: int,
+        seqlen: int,
+        dp: int,
+        tp: int,
+        pp: int,
+        n_microbatches: int = 1,
+        zero3: bool = False,
+    ) -> MemoryBreakdown:
+        """Memory footprint of a training call on one GPU."""
+        n_tokens = batch_per_dp * seqlen
+        tokens_per_microbatch = n_tokens / max(1, n_microbatches)
+        return MemoryBreakdown(
+            parameters=self.params_per_gpu(tp, pp, dp, zero3),
+            gradients=self.grads_per_gpu(tp, pp, dp, zero3),
+            optimizer=self.optimizer_per_gpu(tp, pp, dp, zero3),
+            kv_cache=0.0,
+            activations=self.activation_bytes(n_tokens, tp, pp, n_microbatches)
+            + self.logits_bytes(tokens_per_microbatch, tp),
+        )
+
+    def inference_breakdown(
+        self,
+        batch_per_dp: int,
+        seqlen: int,
+        dp: int,
+        tp: int,
+        pp: int,
+        n_microbatches: int = 1,
+        zero3: bool = False,
+    ) -> MemoryBreakdown:
+        """Memory footprint of an inference call (no grads, no optimizer).
+
+        A forward-only pass keeps no per-layer activations for a backward
+        pass; only a small working set of the current layer's activations is
+        live, so the footprint is dominated by parameters and logits.
+        """
+        n_tokens = batch_per_dp * seqlen
+        tokens_per_microbatch = n_tokens / max(1, n_microbatches)
+        working_set = 2 * ACTIVATION_BYTES_PER_TOKEN_FACTOR * self.config.hidden_size * tokens_per_microbatch / tp
+        return MemoryBreakdown(
+            parameters=self.params_per_gpu(tp, pp, dp, zero3),
+            gradients=0.0,
+            optimizer=0.0,
+            kv_cache=0.0,
+            activations=working_set + self.logits_bytes(tokens_per_microbatch, tp),
+        )
+
+    def generation_breakdown(
+        self,
+        batch_per_dp: int,
+        prompt_len: int,
+        gen_len: int,
+        dp: int,
+        tp: int,
+        pp: int,
+        n_microbatches: int = 1,
+        zero3: bool = False,
+    ) -> MemoryBreakdown:
+        """Memory footprint of a generation call (KV cache dominates)."""
+        total_len = prompt_len + gen_len
+        batch_live = batch_per_dp / max(1, n_microbatches)
+        return MemoryBreakdown(
+            parameters=self.params_per_gpu(tp, pp, dp, zero3),
+            gradients=0.0,
+            optimizer=0.0,
+            kv_cache=self.kv_cache_bytes(int(batch_live), total_len, tp) * min(n_microbatches, pp),
+            activations=self.logits_bytes(batch_live, tp)
+            + self.activation_bytes(batch_live * 1, tp, pp, 1),
+        )
+
+    def static_bytes_per_gpu(self, dp: int, tp: int, pp: int, zero3: bool = False) -> float:
+        """Static (persistent) memory per GPU for a trainable model."""
+        return self.grads_per_gpu(tp, pp, dp, zero3) + self.optimizer_per_gpu(tp, pp, dp, zero3)

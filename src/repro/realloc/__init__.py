@@ -1,0 +1,22 @@
+"""Parameter reallocation: layouts, broadcast remapping, costs and offloading."""
+
+from .cost import ReallocCost, ReallocCostModel
+from .layout import EMBEDDING_BLOCK, HEAD_BLOCK, ParamLayout, layer_assignment
+from .offload import OffloadDecision, offload_cost, should_offload
+from .remap import BroadcastStep, ReallocationPlan, plan_reallocation, reallocation_time
+
+__all__ = [
+    "ParamLayout",
+    "layer_assignment",
+    "EMBEDDING_BLOCK",
+    "HEAD_BLOCK",
+    "BroadcastStep",
+    "ReallocationPlan",
+    "plan_reallocation",
+    "reallocation_time",
+    "ReallocCost",
+    "ReallocCostModel",
+    "OffloadDecision",
+    "offload_cost",
+    "should_offload",
+]

@@ -1,0 +1,78 @@
+"""Parameter offloading between device and host memory.
+
+The augmented dataflow graph of the paper (Figure 5) includes parameter
+offloading nodes: models whose next use lies far in the future can be swapped
+to host memory, trading PCIe transfer time for free HBM.  This module models
+that decision and its cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.hardware import ClusterSpec
+from ..core.plan import Allocation
+from ..model.config import ModelConfig
+from ..model.memory import PARAM_BYTES
+
+__all__ = ["OffloadDecision", "offload_cost", "should_offload"]
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Whether (and how expensively) to offload a model's parameters."""
+
+    offload: bool
+    bytes_per_gpu: float
+    offload_seconds: float
+    reload_seconds: float
+
+    @property
+    def round_trip_seconds(self) -> float:
+        """Total time spent moving the parameters out and back in."""
+        return self.offload_seconds + self.reload_seconds
+
+
+def offload_cost(config: ModelConfig, alloc: Allocation, cluster: ClusterSpec) -> OffloadDecision:
+    """Cost of offloading a model stored under ``alloc`` to host memory.
+
+    The transfer is asynchronous on a separate CUDA stream in the real system,
+    but its duration still bounds how soon the freed memory becomes available,
+    so we account for it explicitly.
+    """
+    shard_params = config.param_count() / (alloc.parallel.tp * alloc.parallel.pp)
+    nbytes = shard_params * PARAM_BYTES
+    seconds = nbytes / cluster.gpu.pcie_bandwidth
+    return OffloadDecision(
+        offload=True,
+        bytes_per_gpu=nbytes,
+        offload_seconds=seconds,
+        reload_seconds=seconds,
+    )
+
+
+def should_offload(
+    config: ModelConfig,
+    alloc: Allocation,
+    cluster: ClusterSpec,
+    idle_seconds: float,
+    memory_pressure: float,
+) -> OffloadDecision:
+    """Decide whether offloading is worthwhile.
+
+    Offloading pays off when the model will stay idle for much longer than the
+    PCIe round trip *and* the device is under memory pressure (fraction of HBM
+    already committed).  Returns a decision whose ``offload`` flag encodes the
+    verdict; the costs are always populated so callers can reason about the
+    trade-off.
+    """
+    decision = offload_cost(config, alloc, cluster)
+    worthwhile = (
+        memory_pressure > 0.7 and idle_seconds > 4.0 * decision.round_trip_seconds
+    )
+    return OffloadDecision(
+        offload=worthwhile,
+        bytes_per_gpu=decision.bytes_per_gpu,
+        offload_seconds=decision.offload_seconds,
+        reload_seconds=decision.reload_seconds,
+    )

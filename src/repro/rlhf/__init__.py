@@ -1,0 +1,60 @@
+"""Functional RLHF numerics on a tiny NumPy transformer (PPO/DPO/GRPO/ReMax)."""
+
+from .autograd import Tensor, concatenate, no_grad, stack
+from .dpo_math import dpo_implicit_rewards, dpo_loss
+from .generation import GenerationConfig, GenerationOutput, generate
+from .grpo_math import group_normalized_advantages, grpo_policy_loss
+from .ppo_math import (
+    PPOConfig,
+    compute_gae,
+    kl_penalty_rewards,
+    ppo_policy_loss,
+    ppo_value_loss,
+    whiten,
+)
+from .remax_math import remax_advantages, remax_policy_loss
+from .reward import KeywordReward, LengthReward, TinyRewardModel
+from .tiny_llm import Adam, TinyLM, TinyLMConfig, layer_norm
+from .trainer import (
+    DPOTrainer,
+    GRPOTrainer,
+    IterationStats,
+    PPOTrainer,
+    ReMaxTrainer,
+    RLHFTask,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "stack",
+    "concatenate",
+    "TinyLM",
+    "TinyLMConfig",
+    "Adam",
+    "layer_norm",
+    "GenerationConfig",
+    "GenerationOutput",
+    "generate",
+    "KeywordReward",
+    "LengthReward",
+    "TinyRewardModel",
+    "PPOConfig",
+    "compute_gae",
+    "whiten",
+    "kl_penalty_rewards",
+    "ppo_policy_loss",
+    "ppo_value_loss",
+    "dpo_loss",
+    "dpo_implicit_rewards",
+    "group_normalized_advantages",
+    "grpo_policy_loss",
+    "remax_advantages",
+    "remax_policy_loss",
+    "RLHFTask",
+    "PPOTrainer",
+    "DPOTrainer",
+    "GRPOTrainer",
+    "ReMaxTrainer",
+    "IterationStats",
+]

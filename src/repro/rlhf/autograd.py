@@ -1,0 +1,456 @@
+"""A minimal reverse-mode automatic differentiation engine on NumPy arrays.
+
+The plan generator and runtime engine of this reproduction never touch real
+tensors, but the paper's claim that ReaL "supports any RLHF algorithm whose
+workflow decomposes into generation/inference/training calls" deserves a
+functional check: :mod:`repro.rlhf` trains a tiny transformer language model
+with PPO, DPO, GRPO and ReMax end-to-end.  This module provides the autograd
+substrate for that — a small, well-tested tape-based engine in the spirit of
+micrograd, operating on NumPy arrays with broadcasting support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "stack", "concatenate"]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling gradient tracking (for generation/inference)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (the reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array plus an optional gradient and a backward recipe."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self._parents = _parents if self.requires_grad else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        """The scalar value of a 0-d (or single-element) tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Autograd plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient needs a scalar")
+            grad = np.ones_like(self.data)
+        # Topological order of the graph reachable from self.
+        order: List[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(grad))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...], backward) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, _parents=parents if requires else (),
+                      _backward=backward if requires else None)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Matrix ops and reshaping
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self, axis_a: int = -2, axis_b: int = -1) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis_a, axis_b)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, axis_a, axis_b))
+
+        return self._make(out_data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Tanh-approximated GELU activation."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * d_inner
+                self._accumulate(grad * d)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def logsigmoid(self) -> "Tensor":
+        """Numerically stable ``log(sigmoid(x))`` (used by the DPO loss)."""
+        x = self.data
+        out_data = -np.logaddexp(0.0, -x)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 / (1.0 + np.exp(x))))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = np.maximum(self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            mask = self.data >= other.data
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+            if other.requires_grad:
+                other._accumulate(grad * (~mask))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and indexing
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def gather_last(self, indices: np.ndarray) -> "Tensor":
+        """Select one element along the last axis per leading position.
+
+        ``indices`` has the shape of ``self`` minus its last axis; the result
+        has that same shape.  This implements the log-prob lookup
+        ``logits[..., token]``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = np.take_along_axis(self.data, indices[..., None], axis=-1)[..., 0]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.put_along_axis(full, indices[..., None], np.asarray(grad)[..., None], axis=-1)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        x = self.data
+        shifted = x - x.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - logsumexp
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = np.asarray(grad)
+                self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace positions where ``mask`` is True with ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.where(mask, 0.0, grad))
+
+        return self._make(out_data, (self,), backward)
+
+    def index_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row lookup ``self[indices]`` (embedding lookup)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, self.data.shape[-1]))
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, propagating gradients to each input."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(np.asarray(grad), len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    return Tensor(out_data, requires_grad=requires,
+                  _parents=tuple(tensors) if requires else (),
+                  _backward=backward if requires else None)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray) -> None:
+        offsets = np.cumsum([0] + sizes)
+        g = np.asarray(grad)
+        for tensor, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * g.ndim
+                slicer[axis] = slice(lo, hi)
+                tensor._accumulate(g[tuple(slicer)])
+
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    return Tensor(out_data, requires_grad=requires,
+                  _parents=tuple(tensors) if requires else (),
+                  _backward=backward if requires else None)

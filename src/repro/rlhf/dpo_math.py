@@ -1,0 +1,42 @@
+"""Direct Preference Optimization loss (Rafailov et al., 2023).
+
+DPO needs only the actor and a frozen reference model: given the summed
+log-probabilities of a preferred and a rejected completion under both models,
+the loss pushes the actor's implicit reward margin above the reference's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["dpo_loss", "dpo_implicit_rewards"]
+
+
+def dpo_loss(
+    policy_chosen_logps: Tensor,
+    policy_rejected_logps: Tensor,
+    ref_chosen_logps: np.ndarray,
+    ref_rejected_logps: np.ndarray,
+    beta: float = 0.1,
+) -> Tensor:
+    """The DPO objective: ``-log sigmoid(beta * (margin_policy - margin_ref))``.
+
+    The policy log-probabilities are differentiable tensors of shape
+    ``(batch,)`` (summed over response tokens); the reference values are fixed
+    arrays of the same shape.
+    """
+    ref_chosen = Tensor(np.asarray(ref_chosen_logps, dtype=np.float64))
+    ref_rejected = Tensor(np.asarray(ref_rejected_logps, dtype=np.float64))
+    policy_margin = policy_chosen_logps - policy_rejected_logps
+    ref_margin = ref_chosen - ref_rejected
+    logits = (policy_margin - ref_margin) * beta
+    return (logits.logsigmoid() * -1.0).mean()
+
+
+def dpo_implicit_rewards(
+    policy_logps: np.ndarray, ref_logps: np.ndarray, beta: float = 0.1
+) -> np.ndarray:
+    """The implicit reward ``beta * (log pi - log pi_ref)`` used for evaluation."""
+    return beta * (np.asarray(policy_logps) - np.asarray(ref_logps))

@@ -1,0 +1,94 @@
+"""Auto-regressive generation from the tiny functional language model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .autograd import no_grad
+from .tiny_llm import TinyLM
+
+__all__ = ["GenerationConfig", "GenerationOutput", "generate"]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Sampling configuration for the tiny model's generation call."""
+
+    max_new_tokens: int = 8
+    temperature: float = 1.0
+    top_k: Optional[int] = None
+    greedy: bool = False
+    seed: int = 0
+
+
+@dataclass
+class GenerationOutput:
+    """Sequences and per-token log-probabilities produced by generation."""
+
+    sequences: np.ndarray
+    """Full sequences (prompt + response), shape ``(batch, prompt+new)``."""
+    response_log_probs: np.ndarray
+    """Log-probability of each generated token, shape ``(batch, new)``."""
+    prompt_len: int
+
+    @property
+    def responses(self) -> np.ndarray:
+        """Just the generated continuation, shape ``(batch, new)``."""
+        return self.sequences[:, self.prompt_len :]
+
+
+def _sample_row(probs: np.ndarray, rng: np.random.Generator) -> int:
+    return int(rng.choice(len(probs), p=probs))
+
+
+def generate(model: TinyLM, prompts: np.ndarray, config: GenerationConfig) -> GenerationOutput:
+    """Generate continuations for ``prompts`` of shape ``(batch, prompt_len)``.
+
+    This is the functional analogue of the actor generation call: a prefill
+    pass followed by per-token decoding.  (The tiny model has no KV cache —
+    each step re-runs the forward pass, which is fine at this scale.)
+    """
+    prompts = np.asarray(prompts, dtype=np.int64)
+    if prompts.ndim != 2:
+        raise ValueError("prompts must have shape (batch, prompt_len)")
+    batch, prompt_len = prompts.shape
+    total_len = prompt_len + config.max_new_tokens
+    if total_len > model.config.max_seq_len:
+        raise ValueError(
+            f"prompt ({prompt_len}) + new tokens ({config.max_new_tokens}) exceeds "
+            f"the model's max sequence length {model.config.max_seq_len}"
+        )
+    if config.temperature <= 0:
+        raise ValueError("temperature must be positive")
+
+    rng = np.random.default_rng(config.seed)
+    sequences = prompts.copy()
+    log_probs = np.zeros((batch, config.max_new_tokens))
+
+    with no_grad():
+        for step in range(config.max_new_tokens):
+            logits = model.forward(sequences).numpy()[:, -1, :]
+            scaled = logits / config.temperature
+            scaled = scaled - scaled.max(axis=-1, keepdims=True)
+            probs = np.exp(scaled)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            if config.top_k is not None and config.top_k < probs.shape[-1]:
+                for row in range(batch):
+                    cutoff = np.sort(probs[row])[-config.top_k]
+                    probs[row][probs[row] < cutoff] = 0.0
+                    probs[row] /= probs[row].sum()
+            if config.greedy:
+                next_tokens = probs.argmax(axis=-1)
+            else:
+                next_tokens = np.array([_sample_row(probs[row], rng) for row in range(batch)])
+            log_probs[:, step] = np.log(
+                probs[np.arange(batch), next_tokens] + 1e-12
+            )
+            sequences = np.concatenate([sequences, next_tokens[:, None]], axis=1)
+
+    return GenerationOutput(
+        sequences=sequences, response_log_probs=log_probs, prompt_len=prompt_len
+    )

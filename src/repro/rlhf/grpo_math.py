@@ -1,0 +1,55 @@
+"""Group Relative Policy Optimization (Shao et al., 2024) numerics.
+
+GRPO removes the critic: for every prompt the actor samples a *group* of
+responses, and each response's advantage is its reward standardised within the
+group.  The policy update then uses the familiar PPO clipped surrogate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from .ppo_math import ppo_policy_loss
+
+__all__ = ["group_normalized_advantages", "grpo_policy_loss"]
+
+
+def group_normalized_advantages(
+    rewards: np.ndarray, group_size: int, eps: float = 1e-8
+) -> np.ndarray:
+    """Standardise rewards within each prompt's group of samples.
+
+    ``rewards`` has shape ``(n_prompts * group_size,)`` laid out group-major
+    (all samples of prompt 0, then prompt 1, ...).  Returns advantages of the
+    same shape with zero mean and unit variance within every group.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if rewards.ndim != 1 or rewards.size % group_size != 0:
+        raise ValueError(
+            f"rewards of shape {rewards.shape} cannot be split into groups of {group_size}"
+        )
+    grouped = rewards.reshape(-1, group_size)
+    mean = grouped.mean(axis=1, keepdims=True)
+    std = grouped.std(axis=1, keepdims=True)
+    return ((grouped - mean) / (std + eps)).reshape(-1)
+
+
+def grpo_policy_loss(
+    new_log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    rewards: np.ndarray,
+    group_size: int,
+    clip_ratio: float = 0.2,
+) -> Tensor:
+    """GRPO loss: PPO's clipped surrogate with group-normalised advantages.
+
+    The per-sequence advantage is broadcast over that sequence's tokens.
+    """
+    advantages = group_normalized_advantages(rewards, group_size)
+    per_token = np.broadcast_to(
+        advantages[:, None], np.asarray(old_log_probs).shape
+    )
+    return ppo_policy_loss(new_log_probs, old_log_probs, per_token, clip_ratio)

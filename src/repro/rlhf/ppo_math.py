@@ -1,0 +1,135 @@
+"""PPO mathematics: GAE, advantage whitening and the clipped surrogate losses.
+
+These are the numerical kernels of the Actor/Critic training calls in the
+paper's PPO workflow.  Array-level functions operate on NumPy arrays; the loss
+builders operate on autograd :class:`~repro.rlhf.autograd.Tensor` objects so
+gradients flow into the tiny models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = [
+    "PPOConfig",
+    "compute_gae",
+    "whiten",
+    "kl_penalty_rewards",
+    "ppo_policy_loss",
+    "ppo_value_loss",
+]
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (defaults follow common RLHF practice)."""
+
+    gamma: float = 1.0
+    gae_lambda: float = 0.95
+    clip_ratio: float = 0.2
+    value_clip: float = 0.2
+    kl_coef: float = 0.1
+    n_minibatches: int = 4
+    learning_rate: float = 1e-3
+    entropy_coef: float = 0.0
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float = 1.0,
+    gae_lambda: float = 0.95,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generalised advantage estimation over per-token rewards.
+
+    ``rewards`` and ``values`` have shape ``(batch, T)``; the value after the
+    final token is treated as zero (the episode ends with the response).
+    Returns ``(advantages, returns)`` of the same shape.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ValueError(f"rewards {rewards.shape} and values {values.shape} must match")
+    batch, horizon = rewards.shape
+    advantages = np.zeros_like(rewards)
+    last_gae = np.zeros(batch)
+    for t in reversed(range(horizon)):
+        next_value = values[:, t + 1] if t + 1 < horizon else np.zeros(batch)
+        delta = rewards[:, t] + gamma * next_value - values[:, t]
+        last_gae = delta + gamma * gae_lambda * last_gae
+        advantages[:, t] = last_gae
+    returns = advantages + values
+    return advantages, returns
+
+
+def whiten(values: np.ndarray, shift_mean: bool = True, eps: float = 1e-8) -> np.ndarray:
+    """Normalise an array to unit variance (and zero mean unless disabled)."""
+    values = np.asarray(values, dtype=np.float64)
+    mean = values.mean()
+    std = values.std()
+    out = (values - mean) / (std + eps)
+    if not shift_mean:
+        out = out + mean
+    return out
+
+
+def kl_penalty_rewards(
+    sparse_rewards: np.ndarray,
+    actor_log_probs: np.ndarray,
+    ref_log_probs: np.ndarray,
+    kl_coef: float,
+) -> np.ndarray:
+    """Per-token rewards: KL penalty everywhere plus the score on the last token.
+
+    This is the standard InstructGPT reward shaping: the reward model's scalar
+    score is granted at the final token while every token pays
+    ``kl_coef * (log pi - log pi_ref)``.
+    """
+    actor_log_probs = np.asarray(actor_log_probs, dtype=np.float64)
+    ref_log_probs = np.asarray(ref_log_probs, dtype=np.float64)
+    sparse_rewards = np.asarray(sparse_rewards, dtype=np.float64)
+    if actor_log_probs.shape != ref_log_probs.shape:
+        raise ValueError("actor and reference log-prob shapes must match")
+    rewards = -kl_coef * (actor_log_probs - ref_log_probs)
+    rewards[:, -1] += sparse_rewards
+    return rewards
+
+
+def ppo_policy_loss(
+    new_log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    clip_ratio: float = 0.2,
+) -> Tensor:
+    """The clipped PPO surrogate objective (to be minimised).
+
+    ``new_log_probs`` is a differentiable tensor of shape ``(batch, T)``;
+    ``old_log_probs`` and ``advantages`` are fixed arrays of the same shape.
+    """
+    old = Tensor(np.asarray(old_log_probs, dtype=np.float64))
+    adv = Tensor(np.asarray(advantages, dtype=np.float64))
+    ratio = (new_log_probs - old).exp()
+    clipped = ratio.clip(1.0 - clip_ratio, 1.0 + clip_ratio)
+    # -min(ratio * adv, clipped * adv) == max(-ratio * adv, -clipped * adv)
+    surrogate = ((ratio * adv) * -1.0).maximum((clipped * adv) * -1.0)
+    return surrogate.mean()
+
+
+def ppo_value_loss(
+    new_values: Tensor,
+    old_values: np.ndarray,
+    returns: np.ndarray,
+    value_clip: float = 0.2,
+) -> Tensor:
+    """Clipped value-function loss of the critic training call."""
+    old = Tensor(np.asarray(old_values, dtype=np.float64))
+    target = Tensor(np.asarray(returns, dtype=np.float64))
+    clipped = old + (new_values - old).clip(-value_clip, value_clip)
+    loss_unclipped = (new_values - target) ** 2
+    loss_clipped = (clipped - target) ** 2
+    return loss_unclipped.maximum(loss_clipped).mean() * 0.5

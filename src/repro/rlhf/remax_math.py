@@ -1,0 +1,36 @@
+"""ReMax (Li et al., 2024) numerics.
+
+ReMax is REINFORCE with a greedy-decoding baseline: the advantage of a sampled
+response is its reward minus the reward of the greedy response to the same
+prompt, which removes the need for a learned critic.  The two generation calls
+(sampling and greedy) are independent, which is what lets ReaL run them
+concurrently (Figure 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["remax_advantages", "remax_policy_loss"]
+
+
+def remax_advantages(sample_rewards: np.ndarray, greedy_rewards: np.ndarray) -> np.ndarray:
+    """Per-sequence advantage: sampled reward minus greedy-baseline reward."""
+    sample_rewards = np.asarray(sample_rewards, dtype=np.float64)
+    greedy_rewards = np.asarray(greedy_rewards, dtype=np.float64)
+    if sample_rewards.shape != greedy_rewards.shape:
+        raise ValueError("sample and greedy reward shapes must match")
+    return sample_rewards - greedy_rewards
+
+
+def remax_policy_loss(
+    new_log_probs: Tensor,
+    sample_rewards: np.ndarray,
+    greedy_rewards: np.ndarray,
+) -> Tensor:
+    """REINFORCE loss with the greedy baseline: ``-E[(r - r_greedy) log pi]``."""
+    advantages = remax_advantages(sample_rewards, greedy_rewards)
+    per_token = np.broadcast_to(advantages[:, None], new_log_probs.shape)
+    return (new_log_probs * Tensor(per_token) * -1.0).mean()

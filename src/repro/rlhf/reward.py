@@ -1,0 +1,84 @@
+"""Reward models for the tiny functional RLHF pipeline.
+
+The paper's reward model is a trained LLM with a scalar head.  For the
+functional check we provide both a scripted, verifiable reward (so tests can
+assert that PPO actually improves it) and a :class:`TinyLM`-based reward model
+with a scalar value head, mirroring the role of the paper's Reward inference
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from .autograd import no_grad
+from .tiny_llm import TinyLM, TinyLMConfig
+
+__all__ = ["RewardFunction", "KeywordReward", "LengthReward", "TinyRewardModel"]
+
+
+class RewardFunction(Protocol):
+    """Anything that scores full sequences given the prompt length."""
+
+    def __call__(self, sequences: np.ndarray, prompt_len: int) -> np.ndarray:
+        """Return one scalar reward per sequence."""
+        ...
+
+
+@dataclass(frozen=True)
+class KeywordReward:
+    """Reward equal to the fraction of generated tokens matching a target token.
+
+    A policy maximising this reward learns to emit ``target_token`` — an
+    easily verifiable optimum, used by the PPO convergence tests.
+    """
+
+    target_token: int
+
+    def __call__(self, sequences: np.ndarray, prompt_len: int) -> np.ndarray:
+        responses = np.asarray(sequences)[:, prompt_len:]
+        if responses.size == 0:
+            return np.zeros(np.asarray(sequences).shape[0])
+        return (responses == self.target_token).mean(axis=1)
+
+
+@dataclass(frozen=True)
+class LengthReward:
+    """Reward preferring responses that avoid a designated stop token early."""
+
+    stop_token: int
+
+    def __call__(self, sequences: np.ndarray, prompt_len: int) -> np.ndarray:
+        responses = np.asarray(sequences)[:, prompt_len:]
+        rewards = np.zeros(responses.shape[0])
+        for row in range(responses.shape[0]):
+            hits = np.where(responses[row] == self.stop_token)[0]
+            effective = hits[0] if hits.size else responses.shape[1]
+            rewards[row] = effective / responses.shape[1]
+        return rewards
+
+
+class TinyRewardModel:
+    """A TinyLM with a scalar head used as a learned reward model."""
+
+    def __init__(self, config: TinyLMConfig, seed: int = 7) -> None:
+        self.model = TinyLM(
+            TinyLMConfig(
+                vocab_size=config.vocab_size,
+                max_seq_len=config.max_seq_len,
+                hidden_size=config.hidden_size,
+                n_layers=config.n_layers,
+                n_heads=config.n_heads,
+                is_critic=True,
+            ),
+            seed=seed,
+        )
+
+    def __call__(self, sequences: np.ndarray, prompt_len: int) -> np.ndarray:
+        """Score each sequence with the value of its final token."""
+        with no_grad():
+            values = self.model.forward(np.asarray(sequences)).numpy()
+        return values[:, -1]

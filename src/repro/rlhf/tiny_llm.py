@@ -1,0 +1,248 @@
+"""A tiny GPT-style language model on the NumPy autograd engine.
+
+This is the functional counterpart of the analytical LLaMA configurations: a
+few-thousand-parameter causal transformer whose forward *and* backward passes
+actually run, so the RLHF algorithms (PPO, DPO, GRPO, ReMax) can be exercised
+end-to-end on synthetic tasks.  The architecture mirrors GPT-2: token and
+position embeddings, pre-norm transformer blocks with causal self-attention
+and a GELU MLP, a final layer norm and a tied-free LM head (or a scalar value
+head for critic/reward models).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .autograd import Tensor, no_grad
+
+__all__ = ["TinyLMConfig", "TinyLM", "Adam", "layer_norm"]
+
+
+@dataclass(frozen=True)
+class TinyLMConfig:
+    """Architecture of the tiny functional transformer."""
+
+    vocab_size: int = 32
+    max_seq_len: int = 32
+    hidden_size: int = 32
+    n_layers: int = 2
+    n_heads: int = 2
+    is_critic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.n_heads != 0:
+            raise ValueError("hidden_size must be divisible by n_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.n_heads
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normalised = centered / ((var + eps) ** 0.5)
+    return normalised * gamma + beta
+
+
+class TinyLM:
+    """A tiny causal transformer language model (or critic)."""
+
+    def __init__(self, config: TinyLMConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        h, v, t = config.hidden_size, config.vocab_size, config.max_seq_len
+        scale = 0.02
+
+        def param(*shape: int) -> Tensor:
+            return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=True)
+
+        self.params: Dict[str, Tensor] = {}
+        self.params["wte"] = param(v, h)
+        self.params["wpe"] = param(t, h)
+        for layer in range(config.n_layers):
+            prefix = f"h{layer}."
+            self.params[prefix + "ln1_g"] = Tensor(np.ones(h), requires_grad=True)
+            self.params[prefix + "ln1_b"] = Tensor(np.zeros(h), requires_grad=True)
+            self.params[prefix + "wq"] = param(h, h)
+            self.params[prefix + "wk"] = param(h, h)
+            self.params[prefix + "wv"] = param(h, h)
+            self.params[prefix + "wo"] = param(h, h)
+            self.params[prefix + "ln2_g"] = Tensor(np.ones(h), requires_grad=True)
+            self.params[prefix + "ln2_b"] = Tensor(np.zeros(h), requires_grad=True)
+            self.params[prefix + "w_up"] = param(h, 4 * h)
+            self.params[prefix + "w_down"] = param(4 * h, h)
+        self.params["lnf_g"] = Tensor(np.ones(h), requires_grad=True)
+        self.params["lnf_b"] = Tensor(np.zeros(h), requires_grad=True)
+        out_dim = 1 if config.is_critic else v
+        self.params["head"] = param(h, out_dim)
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Tensor]:
+        """All trainable parameter tensors."""
+        return list(self.params.values())
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear all accumulated gradients."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """A copy of every parameter array (for checkpoints / reference models)."""
+        return {name: p.data.copy() for name, p in self.params.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values saved with :meth:`state_dict`."""
+        missing = set(self.params) - set(state)
+        if missing:
+            raise KeyError(f"state dict misses parameters: {sorted(missing)}")
+        for name, value in state.items():
+            if name in self.params:
+                self.params[name].data = np.asarray(value, dtype=np.float64).copy()
+
+    def clone(self, seed: int = 0) -> "TinyLM":
+        """A new model with identical weights (e.g. the frozen reference)."""
+        other = TinyLM(self.config, seed=seed)
+        other.load_state_dict(self.state_dict())
+        return other
+
+    # ------------------------------------------------------------------ #
+    # Forward pass
+    # ------------------------------------------------------------------ #
+    def _block(self, x: Tensor, layer: int, causal_mask: np.ndarray) -> Tensor:
+        cfg = self.config
+        p = self.params
+        prefix = f"h{layer}."
+        batch, seq, hidden = x.shape
+
+        normed = layer_norm(x, p[prefix + "ln1_g"], p[prefix + "ln1_b"])
+        q = normed @ p[prefix + "wq"]
+        k = normed @ p[prefix + "wk"]
+        v = normed @ p[prefix + "wv"]
+        # (B, T, C) -> (B, H, T, hd)
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, cfg.n_heads, cfg.head_dim).transpose(1, 2)
+
+        qh, kh, vh = split_heads(q), split_heads(k), split_heads(v)
+        scores = (qh @ kh.transpose(-2, -1)) * (1.0 / math.sqrt(cfg.head_dim))
+        scores = scores.masked_fill(causal_mask[None, None, :seq, :seq], -1e9)
+        attention = scores.softmax(axis=-1)
+        context = attention @ vh
+        context = context.transpose(1, 2).reshape(batch, seq, hidden)
+        x = x + context @ p[prefix + "wo"]
+
+        normed2 = layer_norm(x, p[prefix + "ln2_g"], p[prefix + "ln2_b"])
+        mlp = (normed2 @ p[prefix + "w_up"]).gelu() @ p[prefix + "w_down"]
+        return x + mlp
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Run the model over ``tokens`` of shape ``(batch, seq)``.
+
+        Returns logits of shape ``(batch, seq, vocab)`` for an LM, or values
+        of shape ``(batch, seq)`` for a critic.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, seq), got shape {tokens.shape}")
+        batch, seq = tokens.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds max {self.config.max_seq_len}")
+        positions = np.arange(seq)
+        x = self.params["wte"].index_rows(tokens) + self.params["wpe"].index_rows(positions)
+        causal_mask = np.triu(np.ones((self.config.max_seq_len, self.config.max_seq_len), dtype=bool), k=1)
+        for layer in range(self.config.n_layers):
+            x = self._block(x, layer, causal_mask)
+        x = layer_norm(x, self.params["lnf_g"], self.params["lnf_b"])
+        out = x @ self.params["head"]
+        if self.config.is_critic:
+            return out.reshape(batch, seq)
+        return out
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------ #
+    # Log-probabilities
+    # ------------------------------------------------------------------ #
+    def token_log_probs(self, tokens: np.ndarray) -> Tensor:
+        """Log-probability of each next token under the model.
+
+        For ``tokens`` of shape ``(batch, seq)`` the result has shape
+        ``(batch, seq - 1)``: entry ``[b, t]`` is ``log p(tokens[b, t+1] |
+        tokens[b, :t+1])``.
+        """
+        logits = self.forward(tokens)
+        log_probs = logits.log_softmax(axis=-1)
+        _batch, seq = np.asarray(tokens).shape
+        # Predictions at positions 0..seq-2 score the targets at 1..seq-1.
+        targets = np.asarray(tokens)[:, 1:]
+        trimmed = _slice_time(log_probs, 0, seq - 1)
+        return trimmed.gather_last(targets)
+
+
+def _slice_time(x: Tensor, start: int, stop: int) -> Tensor:
+    """Differentiable slice along the time (second) axis."""
+    out_data = x.data[:, start:stop]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            full = np.zeros_like(x.data)
+            full[:, start:stop] = grad
+            x._accumulate(full)
+
+    requires = x.requires_grad
+    return Tensor(out_data, requires_grad=requires, _parents=(x,) if requires else (),
+                  _backward=backward if requires else None)
+
+
+class Adam:
+    """The Adam optimizer over a list of parameter tensors."""
+
+    def __init__(
+        self,
+        parameters: List[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step += 1
+        t = self._step
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[i] / (1 - self.beta1 ** t)
+            v_hat = self._v[i] / (1 - self.beta2 ** t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,308 @@
+"""End-to-end RLHF training loops on the tiny functional models.
+
+These trainers exercise the complete PPO/DPO/ReMax/GRPO dataflow with real
+numerics on synthetic tasks, providing the functional correctness counterpart
+to the (analytical) plan search and runtime engine.  The PPO trainer mirrors
+the six-call workflow of Figure 4: actor generation, reward / reference /
+critic inference, then actor and critic training over several minibatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .autograd import Tensor, no_grad
+from .dpo_math import dpo_loss
+from .generation import GenerationConfig, generate
+from .grpo_math import grpo_policy_loss
+from .ppo_math import (
+    PPOConfig,
+    compute_gae,
+    kl_penalty_rewards,
+    ppo_policy_loss,
+    ppo_value_loss,
+    whiten,
+)
+from .remax_math import remax_policy_loss
+from .reward import KeywordReward, RewardFunction
+from .tiny_llm import Adam, TinyLM, TinyLMConfig
+
+__all__ = ["RLHFTask", "PPOTrainer", "DPOTrainer", "ReMaxTrainer", "GRPOTrainer", "IterationStats"]
+
+
+@dataclass(frozen=True)
+class RLHFTask:
+    """A synthetic RLHF task: random prompts scored by a scripted reward."""
+
+    vocab_size: int = 16
+    prompt_len: int = 4
+    gen_len: int = 6
+    batch_size: int = 16
+    target_token: int = 3
+    seed: int = 0
+
+    def reward_function(self) -> RewardFunction:
+        """The task's scripted reward (fraction of target tokens emitted)."""
+        return KeywordReward(target_token=self.target_token)
+
+    def model_config(self, is_critic: bool = False) -> TinyLMConfig:
+        """A tiny model configuration sized for this task."""
+        return TinyLMConfig(
+            vocab_size=self.vocab_size,
+            max_seq_len=self.prompt_len + self.gen_len + 2,
+            hidden_size=32,
+            n_layers=2,
+            n_heads=2,
+            is_critic=is_critic,
+        )
+
+    def sample_prompts(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a batch of random prompts."""
+        return rng.integers(0, self.vocab_size, size=(self.batch_size, self.prompt_len))
+
+
+@dataclass
+class IterationStats:
+    """Summary statistics of one training iteration."""
+
+    iteration: int
+    mean_reward: float
+    policy_loss: float
+    value_loss: float = 0.0
+    kl_to_ref: float = 0.0
+
+
+class PPOTrainer:
+    """The full PPO RLHF loop on tiny models (actor, critic, reward, reference)."""
+
+    def __init__(
+        self,
+        task: RLHFTask = RLHFTask(),
+        ppo: PPOConfig = PPOConfig(),
+        reward_function: Optional[RewardFunction] = None,
+        seed: int = 0,
+    ) -> None:
+        self.task = task
+        self.ppo = ppo
+        self.rng = np.random.default_rng(seed)
+        self.actor = TinyLM(task.model_config(), seed=seed)
+        self.critic = TinyLM(task.model_config(is_critic=True), seed=seed + 1)
+        self.reference = self.actor.clone(seed=seed + 2)
+        self.reward_function = reward_function or task.reward_function()
+        self.actor_optimizer = Adam(self.actor.parameters(), lr=ppo.learning_rate)
+        self.critic_optimizer = Adam(self.critic.parameters(), lr=ppo.learning_rate)
+        self.history: List[IterationStats] = []
+        self._iteration = 0
+
+    # ------------------------------------------------------------------ #
+    # One RLHF iteration = the six model function calls of Figure 4
+    # ------------------------------------------------------------------ #
+    def step(self) -> IterationStats:
+        """Run one full RLHF iteration and return its statistics."""
+        task, ppo = self.task, self.ppo
+        prompts = task.sample_prompts(self.rng)
+
+        # 1. Actor generation.
+        generation = generate(
+            self.actor,
+            prompts,
+            GenerationConfig(max_new_tokens=task.gen_len, seed=int(self.rng.integers(1 << 31))),
+        )
+        sequences = generation.sequences
+        prompt_len = generation.prompt_len
+        response_slice = slice(prompt_len - 1, sequences.shape[1] - 1)
+
+        # 2-4. Reward, reference and critic inference.
+        sparse_rewards = np.asarray(self.reward_function(sequences, prompt_len))
+        with no_grad():
+            old_log_probs = self.actor.token_log_probs(sequences).numpy()[:, response_slice]
+            ref_log_probs = self.reference.token_log_probs(sequences).numpy()[:, response_slice]
+            values = self.critic.forward(sequences).numpy()[:, response_slice]
+
+        rewards = kl_penalty_rewards(sparse_rewards, old_log_probs, ref_log_probs, ppo.kl_coef)
+        advantages, returns = compute_gae(rewards, values, ppo.gamma, ppo.gae_lambda)
+        advantages = whiten(advantages)
+
+        # 5-6. Actor and critic training over sequential minibatches.
+        batch = sequences.shape[0]
+        minibatch = max(1, batch // ppo.n_minibatches)
+        policy_losses, value_losses = [], []
+        for start in range(0, batch, minibatch):
+            idx = slice(start, start + minibatch)
+            new_log_probs = self.actor.token_log_probs(sequences[idx])
+            new_log_probs = _slice_columns(new_log_probs, response_slice)
+            policy_loss = ppo_policy_loss(
+                new_log_probs, old_log_probs[idx], advantages[idx], ppo.clip_ratio
+            )
+            self.actor_optimizer.zero_grad()
+            policy_loss.backward()
+            self.actor_optimizer.step()
+            policy_losses.append(policy_loss.item())
+
+            new_values = self.critic.forward(sequences[idx])
+            new_values = _slice_columns(new_values, response_slice)
+            value_loss = ppo_value_loss(new_values, values[idx], returns[idx], ppo.value_clip)
+            self.critic_optimizer.zero_grad()
+            value_loss.backward()
+            self.critic_optimizer.step()
+            value_losses.append(value_loss.item())
+
+        self._iteration += 1
+        stats = IterationStats(
+            iteration=self._iteration,
+            mean_reward=float(sparse_rewards.mean()),
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=float(np.mean(value_losses)),
+            kl_to_ref=float((old_log_probs - ref_log_probs).mean()),
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(self, n_iterations: int) -> List[IterationStats]:
+        """Run several iterations and return their statistics."""
+        return [self.step() for _ in range(n_iterations)]
+
+
+class DPOTrainer:
+    """Direct preference optimization on synthetic preference pairs."""
+
+    def __init__(self, task: RLHFTask = RLHFTask(), beta: float = 0.1, lr: float = 1e-3, seed: int = 0) -> None:
+        self.task = task
+        self.beta = beta
+        self.rng = np.random.default_rng(seed)
+        self.actor = TinyLM(task.model_config(), seed=seed)
+        self.reference = self.actor.clone(seed=seed + 1)
+        self.optimizer = Adam(self.actor.parameters(), lr=lr)
+        self.reward_function = task.reward_function()
+        self.history: List[IterationStats] = []
+
+    def _make_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sample two continuations per prompt and order them by reward."""
+        prompts = self.task.sample_prompts(self.rng)
+        gen_a = generate(self.actor, prompts, GenerationConfig(
+            max_new_tokens=self.task.gen_len, seed=int(self.rng.integers(1 << 31))))
+        gen_b = generate(self.actor, prompts, GenerationConfig(
+            max_new_tokens=self.task.gen_len, seed=int(self.rng.integers(1 << 31))))
+        rewards_a = self.reward_function(gen_a.sequences, self.task.prompt_len)
+        rewards_b = self.reward_function(gen_b.sequences, self.task.prompt_len)
+        chosen = np.where(rewards_a[:, None] >= rewards_b[:, None], gen_a.sequences, gen_b.sequences)
+        rejected = np.where(rewards_a[:, None] >= rewards_b[:, None], gen_b.sequences, gen_a.sequences)
+        return chosen, rejected
+
+    def step(self) -> IterationStats:
+        """One DPO iteration: reference inference plus actor training."""
+        chosen, rejected = self._make_pairs()
+        response_slice = slice(self.task.prompt_len - 1, chosen.shape[1] - 1)
+        with no_grad():
+            ref_chosen = self.reference.token_log_probs(chosen).numpy()[:, response_slice].sum(axis=1)
+            ref_rejected = self.reference.token_log_probs(rejected).numpy()[:, response_slice].sum(axis=1)
+        policy_chosen = _slice_columns(self.actor.token_log_probs(chosen), response_slice).sum(axis=1)
+        policy_rejected = _slice_columns(self.actor.token_log_probs(rejected), response_slice).sum(axis=1)
+        loss = dpo_loss(policy_chosen, policy_rejected, ref_chosen, ref_rejected, self.beta)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        reward = float(self.reward_function(chosen, self.task.prompt_len).mean())
+        stats = IterationStats(iteration=len(self.history) + 1, mean_reward=reward, policy_loss=loss.item())
+        self.history.append(stats)
+        return stats
+
+    def train(self, n_iterations: int) -> List[IterationStats]:
+        return [self.step() for _ in range(n_iterations)]
+
+
+class ReMaxTrainer:
+    """ReMax: REINFORCE with a greedy-decoding baseline (no critic)."""
+
+    def __init__(self, task: RLHFTask = RLHFTask(), lr: float = 1e-3, seed: int = 0) -> None:
+        self.task = task
+        self.rng = np.random.default_rng(seed)
+        self.actor = TinyLM(task.model_config(), seed=seed)
+        self.optimizer = Adam(self.actor.parameters(), lr=lr)
+        self.reward_function = task.reward_function()
+        self.history: List[IterationStats] = []
+
+    def step(self) -> IterationStats:
+        """One ReMax iteration: two generations, two reward calls, one update."""
+        prompts = self.task.sample_prompts(self.rng)
+        sampled = generate(self.actor, prompts, GenerationConfig(
+            max_new_tokens=self.task.gen_len, seed=int(self.rng.integers(1 << 31))))
+        greedy = generate(self.actor, prompts, GenerationConfig(
+            max_new_tokens=self.task.gen_len, greedy=True))
+        sample_rewards = self.reward_function(sampled.sequences, self.task.prompt_len)
+        greedy_rewards = self.reward_function(greedy.sequences, self.task.prompt_len)
+        response_slice = slice(self.task.prompt_len - 1, sampled.sequences.shape[1] - 1)
+        log_probs = _slice_columns(self.actor.token_log_probs(sampled.sequences), response_slice)
+        loss = remax_policy_loss(log_probs, sample_rewards, greedy_rewards)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        stats = IterationStats(
+            iteration=len(self.history) + 1,
+            mean_reward=float(np.mean(sample_rewards)),
+            policy_loss=loss.item(),
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(self, n_iterations: int) -> List[IterationStats]:
+        return [self.step() for _ in range(n_iterations)]
+
+
+class GRPOTrainer:
+    """GRPO: grouped sampling with group-normalised advantages (no critic)."""
+
+    def __init__(self, task: RLHFTask = RLHFTask(), group_size: int = 4, lr: float = 1e-3, seed: int = 0) -> None:
+        if group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        self.task = task
+        self.group_size = group_size
+        self.rng = np.random.default_rng(seed)
+        self.actor = TinyLM(task.model_config(), seed=seed)
+        self.optimizer = Adam(self.actor.parameters(), lr=lr)
+        self.reward_function = task.reward_function()
+        self.history: List[IterationStats] = []
+
+    def step(self) -> IterationStats:
+        """One GRPO iteration: grouped generation, reward inference, training."""
+        prompts = self.task.sample_prompts(self.rng)
+        grouped_prompts = np.repeat(prompts, self.group_size, axis=0)
+        generation = generate(self.actor, grouped_prompts, GenerationConfig(
+            max_new_tokens=self.task.gen_len, seed=int(self.rng.integers(1 << 31))))
+        rewards = self.reward_function(generation.sequences, self.task.prompt_len)
+        response_slice = slice(self.task.prompt_len - 1, generation.sequences.shape[1] - 1)
+        with no_grad():
+            old_log_probs = self.actor.token_log_probs(generation.sequences).numpy()[:, response_slice]
+        new_log_probs = _slice_columns(self.actor.token_log_probs(generation.sequences), response_slice)
+        loss = grpo_policy_loss(new_log_probs, old_log_probs, rewards, self.group_size)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        stats = IterationStats(
+            iteration=len(self.history) + 1,
+            mean_reward=float(np.mean(rewards)),
+            policy_loss=loss.item(),
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(self, n_iterations: int) -> List[IterationStats]:
+        return [self.step() for _ in range(n_iterations)]
+
+
+def _slice_columns(tensor: Tensor, columns: slice) -> Tensor:
+    """Differentiable column slice of a ``(batch, T)`` tensor."""
+    out_data = tensor.data[:, columns]
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            full = np.zeros_like(tensor.data)
+            full[:, columns] = grad
+            tensor._accumulate(full)
+
+    requires = tensor.requires_grad
+    return Tensor(out_data, requires_grad=requires, _parents=(tensor,) if requires else (),
+                  _backward=backward if requires else None)

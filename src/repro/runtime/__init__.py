@@ -1,0 +1,29 @@
+"""Runtime engine: master/worker discrete-event execution of execution plans."""
+
+from .data_transfer import (
+    DataTransferPlan,
+    DataTransferStep,
+    data_transfer_time,
+    plan_data_transfer,
+)
+from .engine import IterationTrace, RuntimeEngine, ThroughputResult
+from .master import MasterWorker
+from .request import DataLocation, Reply, Request
+from .worker import BusySpan, ModelWorker, WorkerPool
+
+__all__ = [
+    "RuntimeEngine",
+    "IterationTrace",
+    "ThroughputResult",
+    "MasterWorker",
+    "ModelWorker",
+    "WorkerPool",
+    "BusySpan",
+    "Request",
+    "Reply",
+    "DataLocation",
+    "DataTransferPlan",
+    "DataTransferStep",
+    "plan_data_transfer",
+    "data_transfer_time",
+]

@@ -1,0 +1,115 @@
+"""The master worker: dependency resolution and request dispatch.
+
+The master worker (Section 6) runs on a CPU, keeps one coroutine per model
+function call, waits until all parent calls have completed, and then sends an
+execution request to the model workers of the call's device mesh.  In the
+simulation the master is the bookkeeping half of the discrete-event loop: it
+decides *which* call may be dispatched *when*, while the engine charges the
+time on the workers' timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.dataflow import DataflowGraph
+from ..core.plan import ExecutionPlan
+from .request import Request
+
+__all__ = ["MasterWorker"]
+
+
+@dataclass
+class _CallState:
+    """Dependency-tracking state of one function call."""
+
+    remaining_parents: int
+    ready_time: float = 0.0
+    dispatched: bool = False
+    completed: bool = False
+
+
+class MasterWorker:
+    """Tracks dependencies and issues requests in dependency order."""
+
+    def __init__(self, graph: DataflowGraph, plan: ExecutionPlan, rpc_overhead_s: float = 0.0) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.rpc_overhead_s = rpc_overhead_s
+        parents = graph.parents_map()
+        self._children = graph.children_map()
+        self._states: Dict[str, _CallState] = {
+            name: _CallState(remaining_parents=len(parents[name])) for name in graph.call_names
+        }
+        self._next_request_id = 0
+        self.issued_requests: List[Request] = []
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def ready_calls(self) -> List[Tuple[str, float]]:
+        """Calls whose dependencies are satisfied but are not yet dispatched.
+
+        Returns ``(call_name, ready_time)`` pairs sorted by readiness.
+        """
+        ready = [
+            (name, state.ready_time)
+            for name, state in self._states.items()
+            if not state.dispatched and state.remaining_parents == 0
+        ]
+        return sorted(ready, key=lambda item: (item[1], item[0]))
+
+    def all_completed(self) -> bool:
+        """Whether every call of the graph has completed."""
+        return all(state.completed for state in self._states.values())
+
+    def n_completed(self) -> int:
+        """Number of completed calls."""
+        return sum(1 for state in self._states.values() if state.completed)
+
+    # ------------------------------------------------------------------ #
+    # State transitions
+    # ------------------------------------------------------------------ #
+    def dispatch(self, call_name: str, now: float) -> Request:
+        """Issue the request for a ready call (marks it dispatched)."""
+        state = self._states[call_name]
+        if state.dispatched:
+            raise RuntimeError(f"call {call_name!r} was already dispatched")
+        if state.remaining_parents > 0:
+            raise RuntimeError(f"call {call_name!r} is not ready yet")
+        state.dispatched = True
+        call = self.graph.get(call_name)
+        request = Request(
+            request_id=self._next_request_id,
+            call_name=call_name,
+            model_name=call.model_name,
+            allocation=self.plan[call_name],
+            issued_at=now + self.rpc_overhead_s,
+        )
+        self._next_request_id += 1
+        self.issued_requests.append(request)
+        return request
+
+    def complete(self, call_name: str, finish_time: float, data_ready_time: Optional[Dict[str, float]] = None) -> List[str]:
+        """Mark a call completed and propagate readiness to its children.
+
+        ``data_ready_time`` optionally overrides, per child, when the child's
+        input data actually becomes available (finish time plus data transfer
+        time).  Returns the children that became ready as a result.
+        """
+        state = self._states[call_name]
+        if state.completed:
+            raise RuntimeError(f"call {call_name!r} already completed")
+        state.completed = True
+        newly_ready: List[str] = []
+        for child in self._children[call_name]:
+            child_state = self._states[child]
+            available = finish_time
+            if data_ready_time and child in data_ready_time:
+                available = data_ready_time[child]
+            child_state.ready_time = max(child_state.ready_time, available)
+            child_state.remaining_parents -= 1
+            if child_state.remaining_parents == 0:
+                newly_ready.append(child)
+        return newly_ready

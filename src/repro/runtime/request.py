@@ -1,0 +1,58 @@
+"""Request/reply messages exchanged between the master and model workers.
+
+The runtime engine of the paper (Section 6) is built around a centralized
+master worker that resolves dependencies and dispatches requests to model
+workers over sockets; the payload data itself stays on the GPUs and only its
+location metadata travels with the request.  These dataclasses model those
+messages in the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.call_cost import CostBreakdown
+from ..core.plan import Allocation
+
+__all__ = ["DataLocation", "Request", "Reply"]
+
+
+@dataclass(frozen=True)
+class DataLocation:
+    """Where a named piece of data lives after a call produced it."""
+
+    key: str
+    producer_call: str
+    mesh_gpus: Tuple[int, ...]
+    dp_degree: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class Request:
+    """A model-function-call execution request issued by the master worker."""
+
+    request_id: int
+    call_name: str
+    model_name: str
+    allocation: Allocation
+    issued_at: float
+    data_locations: Tuple[DataLocation, ...] = ()
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A model worker group's response to a completed request."""
+
+    request_id: int
+    call_name: str
+    started_at: float
+    finished_at: float
+    breakdown: CostBreakdown
+    outputs: Tuple[DataLocation, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Wall time the call occupied its device mesh."""
+        return self.finished_at - self.started_at

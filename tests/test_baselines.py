@@ -1,0 +1,154 @@
+"""Tests for the baseline system strategy models."""
+
+import pytest
+
+from repro.baselines import (
+    DeepSpeedChatSystem,
+    NeMoAlignerSystem,
+    OpenRLHFSystem,
+    RealHeuristicSystem,
+    RealSystem,
+    VeRLSystem,
+    build_heuristic_plan,
+    split_cluster_into_groups,
+)
+from repro.baselines.base import InfeasiblePlanError, pick_microbatches
+from repro.cluster import make_cluster, meshes_tile_cluster
+from repro.core import FunctionCallType, ParallelStrategy, RuntimeEstimator, SearchConfig, instructgpt_workload
+
+
+@pytest.fixture(scope="module")
+def cluster16():
+    return make_cluster(16)
+
+
+@pytest.fixture(scope="module")
+def workload(cluster16):
+    return instructgpt_workload("7b", "7b", batch_size=128)
+
+
+class TestHelpers:
+    def test_split_groups_node_granularity(self):
+        cluster = make_cluster(32)
+        groups = split_cluster_into_groups(cluster, (0.5, 0.25, 0.25))
+        assert len(groups) == 3
+        assert meshes_tile_cluster(groups, cluster)
+
+    def test_split_groups_gpu_granularity(self, cluster16):
+        groups = split_cluster_into_groups(cluster16, (0.5, 0.25, 0.25))
+        assert len(groups) == 3
+        assert meshes_tile_cluster(groups, cluster16)
+
+    def test_split_groups_single_node(self):
+        cluster = make_cluster(8)
+        groups = split_cluster_into_groups(cluster, (0.5, 0.25, 0.25))
+        assert meshes_tile_cluster(groups, cluster)
+
+    def test_split_groups_bad_fractions(self, cluster16):
+        with pytest.raises(ValueError):
+            split_cluster_into_groups(cluster16, (0.5, 0.25))
+
+    def test_pick_microbatches_respects_batch(self, cluster16, workload):
+        config = workload.model_config("actor")
+        mbs = pick_microbatches(
+            config, FunctionCallType.TRAIN_STEP, workload,
+            ParallelStrategy(2, 8, 1), cluster16,
+        )
+        assert 1 <= mbs <= workload.batch_size
+
+    def test_pick_microbatches_grows_for_long_context(self, cluster16):
+        config = instructgpt_workload("7b", "7b").model_config("actor")
+        short = instructgpt_workload("7b", "7b", batch_size=256)
+        long = instructgpt_workload("7b", "7b", batch_size=256, prompt_len=4096, gen_len=4096)
+        mbs_short = pick_microbatches(config, FunctionCallType.TRAIN_STEP, short,
+                                      ParallelStrategy(2, 8, 1), cluster16)
+        mbs_long = pick_microbatches(config, FunctionCallType.TRAIN_STEP, long,
+                                     ParallelStrategy(2, 8, 1), cluster16)
+        assert mbs_long >= mbs_short
+
+
+class TestPlanShapes:
+    def test_heuristic_plan_is_symmetric(self, ppo_graph, workload, cluster16):
+        plan = build_heuristic_plan(ppo_graph, workload, cluster16)
+        meshes = {plan[name].mesh.device_ids for name in ppo_graph.call_names}
+        strategies = {plan[name].parallel for name in ppo_graph.call_names}
+        assert len(meshes) == 1  # everything on the full cluster
+        assert len(strategies) == 1  # one global 3D strategy
+        assert next(iter(strategies)).tp <= cluster16.gpus_per_node
+
+    def test_heuristic_plan_is_feasible(self, ppo_graph, workload, cluster16):
+        plan = build_heuristic_plan(ppo_graph, workload, cluster16)
+        assert RuntimeEstimator(ppo_graph, workload, cluster16).is_feasible(plan)
+
+    def test_dschat_uses_zero3_and_hybrid_engine(self, ppo_graph, workload, cluster16):
+        plan = DeepSpeedChatSystem().build_plan(ppo_graph, workload, cluster16)
+        train_alloc = plan["actor_train"]
+        gen_alloc = plan["actor_generate"]
+        assert train_alloc.zero3 and train_alloc.parallel.tp == 1
+        assert not gen_alloc.zero3 and gen_alloc.parallel.tp > 1
+
+    def test_openrlhf_uses_three_disjoint_groups(self, ppo_graph, workload, cluster16):
+        plan = OpenRLHFSystem().build_plan(ppo_graph, workload, cluster16)
+        gen_mesh = plan["actor_generate"].mesh
+        actor_mesh = plan["actor_train"].mesh
+        critic_mesh = plan["critic_train"].mesh
+        assert not gen_mesh.overlaps(actor_mesh)
+        assert not gen_mesh.overlaps(critic_mesh)
+        assert not actor_mesh.overlaps(critic_mesh)
+        assert plan["ref_inference"].mesh == actor_mesh
+        assert plan["reward_inference"].mesh == critic_mesh
+
+    def test_nemo_uses_two_groups_with_colocated_actor(self, ppo_graph, workload, cluster16):
+        plan = NeMoAlignerSystem().build_plan(ppo_graph, workload, cluster16)
+        assert plan["actor_generate"].mesh == plan["actor_train"].mesh
+        assert not plan["actor_train"].mesh.overlaps(plan["critic_train"].mesh)
+
+    def test_verl_colocates_on_full_cluster(self, ppo_graph, workload, cluster16):
+        plan = VeRLSystem().build_plan(ppo_graph, workload, cluster16)
+        for name in ppo_graph.call_names:
+            assert plan[name].mesh.is_full_cluster()
+
+    def test_real_system_returns_searched_plan(self, ppo_graph, workload, cluster16):
+        system = RealSystem(search_config=SearchConfig(max_iterations=200, time_budget_s=10, seed=0))
+        plan = system.build_plan(ppo_graph, workload, cluster16)
+        assert set(plan.assignments) == set(ppo_graph.call_names)
+        assert system.last_result is not None
+
+
+class TestEvaluation:
+    def test_all_systems_evaluate_on_small_cluster(self, ppo_graph, workload, cluster16):
+        systems = [
+            DeepSpeedChatSystem(),
+            OpenRLHFSystem(),
+            NeMoAlignerSystem(),
+            VeRLSystem(),
+            RealHeuristicSystem(),
+        ]
+        for system in systems:
+            evaluation = system.evaluate(ppo_graph, workload, cluster16)
+            assert evaluation.system == system.name
+            if evaluation.feasible:
+                assert evaluation.petaflops > 0
+            else:
+                assert evaluation.failure_reason
+
+    def test_real_beats_heuristic_by_estimator_cost(self, ppo_graph, workload, cluster16):
+        heuristic_plan = build_heuristic_plan(ppo_graph, workload, cluster16)
+        estimator = RuntimeEstimator(ppo_graph, workload, cluster16)
+        system = RealSystem(search_config=SearchConfig(max_iterations=600, time_budget_s=20, seed=0))
+        searched_plan = system.build_plan(ppo_graph, workload, cluster16)
+        assert estimator.cost(searched_plan) <= estimator.cost(heuristic_plan) + 1e-9
+
+    def test_dschat_derates_generation_backend(self, cluster16):
+        system = DeepSpeedChatSystem()
+        adjusted = system.adjust_cluster(cluster16)
+        assert adjusted.gpu.decode_efficiency < cluster16.gpu.decode_efficiency
+
+    def test_infeasible_workload_reported_not_raised(self, ppo_graph):
+        # A 70B actor on a single 8-GPU node is hopeless for every system.
+        cluster = make_cluster(8)
+        workload = instructgpt_workload("70b", "7b", batch_size=64)
+        evaluation = RealHeuristicSystem().evaluate(ppo_graph, workload, cluster)
+        assert not evaluation.feasible
+        assert evaluation.petaflops == 0.0
+        assert evaluation.seconds_per_iteration == float("inf")

@@ -1,0 +1,141 @@
+"""Unit and property tests for device meshes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    DeviceMesh,
+    enumerate_device_meshes,
+    full_cluster_mesh,
+    make_cluster,
+    meshes_tile_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster16():
+    return make_cluster(16)
+
+
+class TestDeviceMeshValidation:
+    def test_full_cluster_mesh(self, cluster16):
+        mesh = full_cluster_mesh(cluster16)
+        assert mesh.n_gpus == 16
+        assert mesh.shape == (2, 8)
+        assert mesh.is_full_cluster()
+
+    def test_sub_node_mesh(self, cluster16):
+        mesh = DeviceMesh(cluster16, node_start=0, n_nodes=1, gpu_start=4, gpus_per_node=4)
+        assert mesh.n_gpus == 4
+        assert mesh.is_sub_node
+        assert mesh.device_ids == (4, 5, 6, 7)
+
+    def test_multi_node_must_cover_whole_hosts(self, cluster16):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster16, node_start=0, n_nodes=2, gpu_start=0, gpus_per_node=4)
+
+    def test_sub_node_width_must_divide(self, cluster16):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster16, node_start=0, n_nodes=1, gpu_start=0, gpus_per_node=3)
+
+    def test_sub_node_alignment(self, cluster16):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster16, node_start=0, n_nodes=1, gpu_start=2, gpus_per_node=4)
+
+    def test_out_of_range_nodes(self, cluster16):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster16, node_start=1, n_nodes=2, gpu_start=0, gpus_per_node=8)
+
+    def test_empty_mesh_rejected(self, cluster16):
+        with pytest.raises(ValueError):
+            DeviceMesh(cluster16, node_start=0, n_nodes=0, gpu_start=0, gpus_per_node=8)
+
+    def test_describe_formats(self, cluster16):
+        assert "trainer" in full_cluster_mesh(cluster16).describe()
+        sub = DeviceMesh(cluster16, node_start=1, n_nodes=1, gpu_start=0, gpus_per_node=2)
+        assert "gpu0-1" in sub.describe()
+
+
+class TestDeviceMeshRelations:
+    def test_device_ids_multi_node(self, cluster16):
+        mesh = DeviceMesh(cluster16, node_start=0, n_nodes=2, gpu_start=0, gpus_per_node=8)
+        assert mesh.device_ids == tuple(range(16))
+
+    def test_overlap_true(self, cluster16):
+        a = DeviceMesh(cluster16, 0, 1, 0, 8)
+        b = DeviceMesh(cluster16, 0, 1, 4, 4)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlap_false(self, cluster16):
+        a = DeviceMesh(cluster16, 0, 1, 0, 4)
+        b = DeviceMesh(cluster16, 0, 1, 4, 4)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_contains(self, cluster16):
+        whole = full_cluster_mesh(cluster16)
+        part = DeviceMesh(cluster16, 1, 1, 0, 8)
+        assert whole.contains(part)
+        assert not part.contains(whole)
+
+    def test_node_ids(self, cluster16):
+        mesh = DeviceMesh(cluster16, node_start=1, n_nodes=1, gpu_start=0, gpus_per_node=8)
+        assert mesh.node_ids == (1,)
+
+
+class TestEnumeration:
+    def test_counts_for_single_node(self):
+        cluster = make_cluster(8)
+        meshes = enumerate_device_meshes(cluster)
+        # widths 1,2,4,8 -> 8+4+2+1 = 15 meshes
+        assert len(meshes) == 15
+
+    def test_counts_for_two_nodes(self, cluster16):
+        meshes = enumerate_device_meshes(cluster16)
+        # 15 per node * 2 + one 2-node mesh
+        assert len(meshes) == 31
+
+    def test_min_max_filter(self, cluster16):
+        meshes = enumerate_device_meshes(cluster16, min_gpus=8)
+        assert all(m.n_gpus >= 8 for m in meshes)
+        meshes_small = enumerate_device_meshes(cluster16, max_gpus=2)
+        assert all(m.n_gpus <= 2 for m in meshes_small)
+
+    def test_all_enumerated_meshes_are_valid(self, cluster16):
+        for mesh in enumerate_device_meshes(cluster16):
+            assert len(mesh.device_ids) == mesh.n_gpus
+            assert len(set(mesh.device_ids)) == mesh.n_gpus
+
+    def test_meshes_tile_cluster_detects_gap(self, cluster16):
+        half = DeviceMesh(cluster16, 0, 1, 0, 8)
+        assert not meshes_tile_cluster([half], cluster16)
+
+    def test_meshes_tile_cluster_detects_overlap(self, cluster16):
+        a = full_cluster_mesh(cluster16)
+        b = DeviceMesh(cluster16, 0, 1, 0, 8)
+        assert not meshes_tile_cluster([a, b], cluster16)
+
+    def test_meshes_tile_cluster_accepts_partition(self, cluster16):
+        a = DeviceMesh(cluster16, 0, 1, 0, 8)
+        b = DeviceMesh(cluster16, 1, 1, 0, 8)
+        assert meshes_tile_cluster([a, b], cluster16)
+
+
+@given(n_nodes=st.integers(min_value=1, max_value=8), gpus_per_node=st.sampled_from([2, 4, 8]))
+def test_enumerated_meshes_stay_inside_cluster(n_nodes, gpus_per_node):
+    """Property: every enumerated mesh only references GPUs of the cluster."""
+    cluster = ClusterSpec(n_nodes=n_nodes, gpus_per_node=gpus_per_node)
+    for mesh in enumerate_device_meshes(cluster):
+        assert all(0 <= g < cluster.n_gpus for g in mesh.device_ids)
+        assert mesh.n_gpus <= cluster.n_gpus
+
+
+@given(n_nodes=st.integers(min_value=1, max_value=4))
+def test_overlap_is_symmetric(n_nodes):
+    """Property: mesh overlap is a symmetric relation."""
+    cluster = ClusterSpec(n_nodes=n_nodes, gpus_per_node=4)
+    meshes = enumerate_device_meshes(cluster)
+    for a in meshes[:10]:
+        for b in meshes[:10]:
+            assert a.overlaps(b) == b.overlaps(a)

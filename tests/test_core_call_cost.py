@@ -1,0 +1,143 @@
+"""Tests for per-call cost breakdowns (generation / inference / training)."""
+
+import pytest
+
+from repro.cluster import DeviceMesh, full_cluster_mesh, make_cluster
+from repro.core import Allocation, CallCostModel, ParallelStrategy
+from repro.core.profiler import AnalyticalProvider
+from repro.core.workload import CallWorkload
+from repro.core.dataflow import FunctionCallType, ModelFunctionCall
+from repro.model import get_model_config
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster(16)
+
+
+@pytest.fixture(scope="module")
+def cost_model(cluster):
+    config = get_model_config("7b")
+    return CallCostModel(config, cluster, AnalyticalProvider(config, cluster))
+
+
+def alloc(cluster, dp, tp, pp, mbs=1, zero3=False):
+    return Allocation(
+        mesh=full_cluster_mesh(cluster),
+        parallel=ParallelStrategy(dp=dp, tp=tp, pp=pp),
+        n_microbatches=mbs,
+        zero3=zero3,
+    )
+
+
+GEN_CALL = ModelFunctionCall("g", "actor", FunctionCallType.GENERATE)
+INF_CALL = ModelFunctionCall("i", "actor", FunctionCallType.INFERENCE)
+TRAIN_CALL = ModelFunctionCall("t", "actor", FunctionCallType.TRAIN_STEP)
+
+
+class TestGeneration:
+    def test_decode_dominates_generation(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=1024, gen_len=1024)
+        bd = cost_model.generation_breakdown(wl, alloc(cluster, 2, 8, 1))
+        prefill_only = cost_model.generation_breakdown(
+            CallWorkload(batch_size=128, prompt_len=1024, gen_len=0), alloc(cluster, 2, 8, 1)
+        )
+        assert bd.total > 5 * prefill_only.total
+
+    def test_pipeline_adds_bubble_and_p2p(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=512, gen_len=256)
+        no_pp = cost_model.generation_breakdown(wl, alloc(cluster, 2, 8, 1))
+        with_pp = cost_model.generation_breakdown(wl, alloc(cluster, 2, 2, 4))
+        assert no_pp.pp_comm == 0.0
+        assert with_pp.pp_comm > 0.0
+        assert with_pp.bubble > no_pp.bubble
+
+    def test_cuda_graph_speeds_up_decode(self, cluster):
+        config = get_model_config("7b")
+        provider = AnalyticalProvider(config, cluster)
+        fast = CallCostModel(config, cluster, provider, use_cuda_graph=True)
+        slow = CallCostModel(config, cluster, provider, use_cuda_graph=False)
+        wl = CallWorkload(batch_size=64, prompt_len=512, gen_len=512)
+        a = alloc(cluster, 2, 8, 1)
+        assert slow.generation_breakdown(wl, a).total > fast.generation_breakdown(wl, a).total
+
+
+class TestInference:
+    def test_excess_tp_hurts(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=1024, gen_len=1024)
+        # Cross-node TP=16 must be worse than intra-node TP=8 + DP.
+        tp16 = cost_model.inference_breakdown(wl, alloc(cluster, 1, 16, 1))
+        tp8 = cost_model.inference_breakdown(wl, alloc(cluster, 2, 8, 1))
+        assert tp16.total > tp8.total
+
+    def test_zero3_adds_collective_cost(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=1024, gen_len=1024)
+        plain = cost_model.inference_breakdown(wl, alloc(cluster, 16, 1, 1))
+        zero3 = cost_model.inference_breakdown(wl, alloc(cluster, 16, 1, 1, zero3=True))
+        assert zero3.coll_comm > plain.coll_comm
+
+    def test_microbatches_increase_pipeline_utilisation(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=1024, gen_len=1024)
+        one = cost_model.inference_breakdown(wl, alloc(cluster, 2, 2, 4, mbs=1))
+        eight = cost_model.inference_breakdown(wl, alloc(cluster, 2, 2, 4, mbs=8))
+        # The bubble share of total time shrinks with more micro-batches.
+        assert eight.bubble / eight.total < one.bubble / one.total
+
+
+class TestTraining:
+    def test_minibatches_scale_cost(self, cost_model, cluster):
+        wl1 = CallWorkload(batch_size=128, prompt_len=512, gen_len=512, n_minibatches=1)
+        wl4 = CallWorkload(batch_size=128, prompt_len=512, gen_len=512, n_minibatches=4)
+        a = alloc(cluster, 2, 8, 1)
+        t1 = cost_model.training_breakdown(wl1, a).total
+        t4 = cost_model.training_breakdown(wl4, a).total
+        # Same total data, but 4 sequential updates add optimizer/allreduce cost.
+        assert t4 > t1
+
+    def test_dp_gradient_allreduce_counted(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=128, prompt_len=512, gen_len=512, n_minibatches=1)
+        dp16 = cost_model.training_breakdown(wl, alloc(cluster, 16, 1, 1))
+        dp1_pp16 = cost_model.training_breakdown(wl, alloc(cluster, 1, 1, 16))
+        assert dp16.coll_comm > 0
+        assert dp1_pp16.pp_comm > 0
+
+    def test_breakdown_dispatch(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=64, prompt_len=256, gen_len=256, n_minibatches=2)
+        a = alloc(cluster, 2, 8, 1)
+        assert cost_model.breakdown(GEN_CALL, wl, a).total == pytest.approx(
+            cost_model.generation_breakdown(wl, a).total
+        )
+        assert cost_model.breakdown(INF_CALL, wl, a).total == pytest.approx(
+            cost_model.inference_breakdown(wl, a).total
+        )
+        assert cost_model.breakdown(TRAIN_CALL, wl, a).total == pytest.approx(
+            cost_model.training_breakdown(wl, a).total
+        )
+        assert cost_model.time(TRAIN_CALL, wl, a) == pytest.approx(
+            cost_model.breakdown(TRAIN_CALL, wl, a).total
+        )
+
+
+class TestMemoryInterface:
+    def test_static_memory_only_for_training(self, cost_model, cluster):
+        a = alloc(cluster, 2, 8, 1)
+        assert cost_model.static_memory(TRAIN_CALL, a) > 0
+        assert cost_model.static_memory(GEN_CALL, a) == 0.0
+        assert cost_model.static_memory(INF_CALL, a) == 0.0
+
+    def test_active_memory_positive(self, cost_model, cluster):
+        wl = CallWorkload(batch_size=64, prompt_len=512, gen_len=512, n_minibatches=8)
+        a = alloc(cluster, 2, 8, 1)
+        for call in (GEN_CALL, INF_CALL, TRAIN_CALL):
+            assert cost_model.active_memory(call, wl, a) > 0
+
+
+class TestCostBreakdown:
+    def test_scaled_and_add(self):
+        from repro.core.call_cost import CostBreakdown
+
+        bd = CostBreakdown(compute=1.0, pp_comm=0.5, coll_comm=0.25, bubble=0.25)
+        doubled = bd.scaled(2.0)
+        assert doubled.total == pytest.approx(2 * bd.total)
+        bd.add(doubled)
+        assert bd.total == pytest.approx(3 * doubled.total / 2)

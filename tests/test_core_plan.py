@@ -1,0 +1,120 @@
+"""Tests for execution plans and their derived reallocation/transfer edges."""
+
+import pytest
+
+from repro.cluster import DeviceMesh, full_cluster_mesh, make_cluster
+from repro.core import (
+    Allocation,
+    ExecutionPlan,
+    ParallelStrategy,
+    data_transfer_edges,
+    reallocation_edges,
+    symmetric_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster(16)
+
+
+class TestAllocation:
+    def test_strategy_must_fill_mesh(self, cluster):
+        mesh = full_cluster_mesh(cluster)
+        with pytest.raises(ValueError):
+            Allocation(mesh=mesh, parallel=ParallelStrategy(1, 8, 1))
+
+    def test_microbatches_positive(self, cluster):
+        mesh = full_cluster_mesh(cluster)
+        with pytest.raises(ValueError):
+            Allocation(mesh=mesh, parallel=ParallelStrategy(2, 8, 1), n_microbatches=0)
+
+    def test_describe_mentions_zero3(self, cluster):
+        mesh = full_cluster_mesh(cluster)
+        alloc = Allocation(mesh=mesh, parallel=ParallelStrategy(16, 1, 1), zero3=True)
+        assert "zero3" in alloc.describe()
+
+
+class TestExecutionPlan:
+    def test_symmetric_plan_covers_graph(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        assert len(plan) == len(ppo_graph)
+        plan.validate(ppo_graph, cluster)
+
+    def test_symmetric_plan_rejects_partial_strategy(self, ppo_graph, cluster):
+        with pytest.raises(ValueError):
+            symmetric_plan(ppo_graph, cluster, ParallelStrategy(1, 8, 1))
+
+    def test_validate_detects_missing_call(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        del plan.assignments["actor_train"]
+        with pytest.raises(ValueError):
+            plan.validate(ppo_graph, cluster)
+
+    def test_validate_detects_extra_call(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        plan.assignments["ghost"] = plan["actor_train"]
+        with pytest.raises(ValueError):
+            plan.validate(ppo_graph, cluster)
+
+    def test_validate_detects_wrong_cluster_shape(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        other = make_cluster(32)
+        with pytest.raises(ValueError):
+            plan.validate(ppo_graph, other)
+
+    def test_with_assignment_returns_new_plan(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        node0 = DeviceMesh(cluster, 0, 1, 0, 8)
+        new_alloc = Allocation(mesh=node0, parallel=ParallelStrategy(1, 8, 1))
+        new_plan = plan.with_assignment("actor_generate", new_alloc)
+        assert new_plan["actor_generate"].mesh == node0
+        assert plan["actor_generate"].mesh != node0  # original untouched
+
+    def test_describe_lists_all_calls(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        text = plan.describe(ppo_graph)
+        for name in ppo_graph.call_names:
+            assert name in text
+
+    def test_per_call_microbatch_override(self, ppo_graph, cluster):
+        plan = symmetric_plan(
+            ppo_graph, cluster, ParallelStrategy(2, 8, 1),
+            n_microbatches=1, per_call_microbatches={"actor_train": 8},
+        )
+        assert plan["actor_train"].n_microbatches == 8
+        assert plan["actor_generate"].n_microbatches == 1
+
+
+class TestDerivedEdges:
+    def test_symmetric_plan_has_no_reallocations(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        assert reallocation_edges(ppo_graph, plan) == []
+
+    def test_changing_actor_strategy_adds_reallocation(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        mesh = full_cluster_mesh(cluster)
+        plan = plan.with_assignment(
+            "actor_generate", Allocation(mesh=mesh, parallel=ParallelStrategy(4, 4, 1))
+        )
+        edges = reallocation_edges(ppo_graph, plan)
+        actor_edges = [e for e in edges if e.model_name == "actor"]
+        # generate -> train and the wrap-around train -> generate both realloc.
+        assert len(actor_edges) == 2
+        assert all(not e.is_noop for e in actor_edges)
+
+    def test_data_transfer_edges_match_graph_edges(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        edges = data_transfer_edges(ppo_graph, plan)
+        assert len(edges) == len(ppo_graph.edges)
+        assert all(edge.is_local for edge in edges)
+
+    def test_data_transfer_detects_layout_change(self, ppo_graph, cluster):
+        plan = symmetric_plan(ppo_graph, cluster, ParallelStrategy(2, 8, 1))
+        node0 = DeviceMesh(cluster, 0, 1, 0, 8)
+        plan = plan.with_assignment(
+            "reward_inference", Allocation(mesh=node0, parallel=ParallelStrategy(1, 8, 1))
+        )
+        edges = data_transfer_edges(ppo_graph, plan)
+        changed = [e for e in edges if e.dst_call == "reward_inference"]
+        assert changed and all(not e.is_local for e in changed)

@@ -1,0 +1,191 @@
+"""Tests for search-space pruning, MCMC search and brute-force search."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import (
+    MCMCSearcher,
+    PruneConfig,
+    SearchConfig,
+    allocation_options,
+    brute_force_search,
+    enumerate_allocations,
+    instructgpt_workload,
+    search_space_size,
+    symmetric_plan,
+    ParallelStrategy,
+    RuntimeEstimator,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster8():
+    return make_cluster(8)
+
+
+@pytest.fixture(scope="module")
+def workload_small():
+    return instructgpt_workload("7b", "7b", batch_size=64)
+
+
+class TestPruning:
+    def test_every_option_is_consistent(self, ppo_graph, workload_small, cluster8):
+        options = allocation_options(ppo_graph, workload_small, cluster8)
+        for call_name, choices in options.items():
+            assert choices, f"no options for {call_name}"
+            for alloc in choices:
+                assert alloc.parallel.world_size == alloc.mesh.n_gpus
+                assert alloc.parallel.tp <= cluster8.gpus_per_node
+
+    def test_dp_never_exceeds_batch(self, ppo_graph, cluster8):
+        tiny = instructgpt_workload("7b", "7b", batch_size=4)
+        options = allocation_options(ppo_graph, tiny, cluster8)
+        for choices in options.values():
+            assert all(a.parallel.dp <= 4 for a in choices)
+
+    def test_search_space_size_is_product(self, ppo_graph, workload_small, cluster8):
+        options = allocation_options(ppo_graph, workload_small, cluster8)
+        expected = 1.0
+        for choices in options.values():
+            expected *= len(choices)
+        assert search_space_size(options) == pytest.approx(expected)
+
+    def test_paper_scale_search_space(self, ppo_graph):
+        # On 64 GPUs the paper quotes > 1e16 plans; our pruned space should
+        # still be astronomically large (brute force infeasible).
+        cluster = make_cluster(64)
+        workload = instructgpt_workload("34b", "7b", batch_size=512)
+        options = allocation_options(ppo_graph, workload, cluster)
+        assert search_space_size(options) > 1e12
+
+    def test_pruning_shrinks_space(self, ppo_graph, workload_small, cluster8):
+        loose = PruneConfig(microbatch_choices=(1, 2, 4, 8, 16, 32))
+        tight = PruneConfig(microbatch_choices=(1, 4), min_mesh_gpus=4)
+        big = search_space_size(allocation_options(ppo_graph, workload_small, cluster8, loose))
+        small = search_space_size(allocation_options(ppo_graph, workload_small, cluster8, tight))
+        assert small < big
+
+    def test_mesh_stride_prunes(self, ppo_graph, workload_small):
+        cluster = make_cluster(16)
+        base = allocation_options(ppo_graph, workload_small, cluster, PruneConfig())
+        strided = allocation_options(
+            ppo_graph, workload_small, cluster, PruneConfig(mesh_stride=2)
+        )
+        assert search_space_size(strided) < search_space_size(base)
+
+    def test_static_oom_pruning_drops_unsharded_70b(self, ppo_graph):
+        cluster = make_cluster(16)
+        workload = instructgpt_workload("70b", "7b", batch_size=64)
+        options = enumerate_allocations(
+            ppo_graph.get("actor_train"), workload.model_config("actor"), workload, cluster
+        )
+        assert options
+        assert all(a.parallel.tp * a.parallel.pp > 1 for a in options)
+
+    def test_pruning_raises_when_nothing_fits(self, ppo_graph, cluster8):
+        # A 70B trainable model cannot fit on a single 8-GPU node at all.
+        workload = instructgpt_workload("70b", "7b", batch_size=64)
+        with pytest.raises(ValueError):
+            enumerate_allocations(
+                ppo_graph.get("actor_train"), workload.model_config("actor"), workload, cluster8
+            )
+
+    def test_restrict_returns_copy(self):
+        base = PruneConfig()
+        changed = base.restrict(mesh_stride=3)
+        assert changed.mesh_stride == 3 and base.mesh_stride == 1
+
+
+class TestMCMCSearch:
+    def test_search_improves_over_greedy(self, ppo_graph, workload_small, cluster8):
+        config = SearchConfig(max_iterations=400, time_budget_s=20, seed=1)
+        searcher = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config)
+        result = searcher.search()
+        assert result.best_cost <= result.initial_cost
+        assert result.n_iterations > 0
+        assert 0 <= result.acceptance_rate <= 1
+        assert result.search_space > 1
+
+    def test_search_result_plan_is_feasible(self, ppo_graph, workload_small, cluster8):
+        config = SearchConfig(max_iterations=400, time_budget_s=20, seed=2)
+        searcher = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config)
+        result = searcher.search()
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        assert estimator.is_feasible(result.best_plan)
+
+    def test_seed_plan_bounds_result(self, ppo_graph, workload_small, cluster8):
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        seed_plan = symmetric_plan(ppo_graph, cluster8, ParallelStrategy(1, 8, 1), n_microbatches=8)
+        config = SearchConfig(max_iterations=150, time_budget_s=10, seed=3)
+        searcher = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=config, seed_plans=[seed_plan],
+        )
+        result = searcher.search()
+        assert result.best_cost <= estimator.cost(seed_plan) + 1e-9
+
+    def test_history_is_monotone_non_increasing(self, ppo_graph, workload_small, cluster8):
+        config = SearchConfig(max_iterations=300, time_budget_s=20, seed=4)
+        result = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config).search()
+        best_values = [cost for _, _, cost in result.history]
+        assert all(b >= a - 1e-12 for a, b in zip(best_values[1:], best_values[:-1]))
+
+    def test_deterministic_for_fixed_seed(self, ppo_graph, workload_small, cluster8):
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        options = allocation_options(ppo_graph, workload_small, cluster8)
+        config = SearchConfig(max_iterations=200, time_budget_s=30, seed=5)
+        r1 = MCMCSearcher(ppo_graph, workload_small, cluster8, estimator=estimator,
+                          options=options, config=config).search()
+        r2 = MCMCSearcher(ppo_graph, workload_small, cluster8, estimator=estimator,
+                          options=options, config=config).search()
+        assert r1.best_cost == pytest.approx(r2.best_cost)
+
+    def test_time_budget_respected(self, ppo_graph, workload_small, cluster8):
+        config = SearchConfig(max_iterations=10_000_000, time_budget_s=1.0, seed=0)
+        result = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config).search()
+        assert result.elapsed_seconds < 5.0
+
+
+class TestBruteForce:
+    def _tiny_options(self, ppo_graph, workload_small, cluster8):
+        """A reduced option set small enough for exhaustive enumeration.
+
+        Full-node meshes only, a fixed micro-batch count and no pipeline
+        parallelism: 4 options per call, 4^6 = 4096 plans in total.
+        """
+        prune = PruneConfig(microbatch_choices=(8,), min_mesh_gpus=8)
+        options = allocation_options(ppo_graph, workload_small, cluster8, prune)
+        return {
+            name: [a for a in choices if a.parallel.pp == 1]
+            for name, choices in options.items()
+        }
+
+    def test_brute_force_finds_optimum(self, ppo_graph, workload_small, cluster8):
+        options = self._tiny_options(ppo_graph, workload_small, cluster8)
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        result = brute_force_search(
+            ppo_graph, workload_small, cluster8, options=options, estimator=estimator
+        )
+        assert result.n_evaluated == int(result.search_space)
+        # No other enumerated plan beats the reported optimum.
+        assert result.best_cost <= estimator.cost(result.best_plan) + 1e-9
+
+    def test_mcmc_reaches_brute_force_optimum_on_tiny_space(
+        self, ppo_graph, workload_small, cluster8
+    ):
+        options = self._tiny_options(ppo_graph, workload_small, cluster8)
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        brute = brute_force_search(
+            ppo_graph, workload_small, cluster8, options=options, estimator=estimator
+        )
+        config = SearchConfig(max_iterations=1500, time_budget_s=30, seed=0)
+        mcmc = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            options=options, config=config,
+        ).search()
+        # Figure 15: the MCMC search reaches >= 95% of the optimum quickly.
+        assert mcmc.best_cost <= brute.best_cost / 0.95
+
+    def test_brute_force_refuses_huge_spaces(self, ppo_graph, workload_small, cluster8):
+        with pytest.raises(ValueError):
+            brute_force_search(ppo_graph, workload_small, cluster8, max_plans=10)

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: search -> plan -> runtime -> metrics."""
+
+import pytest
+
+from repro.algorithms import build_graph
+from repro.baselines import RealHeuristicSystem, RealSystem, build_heuristic_plan
+from repro.cluster import make_cluster
+from repro.core import (
+    Profiler,
+    RuntimeEstimator,
+    SearchConfig,
+    MCMCSearcher,
+    instructgpt_workload,
+)
+from repro.experiments import petaflops_per_second
+from repro.runtime import RuntimeEngine
+
+
+@pytest.fixture(scope="module")
+def problem():
+    graph = build_graph("ppo")
+    workload = instructgpt_workload("7b", "7b", batch_size=128)
+    cluster = make_cluster(16)
+    return graph, workload, cluster
+
+
+class TestSearchToRuntime:
+    def test_searched_plan_runs_and_beats_heuristic(self, problem):
+        """The paper's headline claim at miniature scale: ReaL > heuristic."""
+        graph, workload, cluster = problem
+        heuristic = build_heuristic_plan(graph, workload, cluster)
+        system = RealSystem(search_config=SearchConfig(max_iterations=2000, time_budget_s=25, seed=0))
+        searched = system.build_plan(graph, workload, cluster)
+
+        engine = RuntimeEngine(cluster, workload)
+        t_heuristic = engine.run_iteration(graph, heuristic).total_seconds
+        t_searched = engine.run_iteration(graph, searched).total_seconds
+        assert t_searched <= t_heuristic * 1.02
+
+    def test_estimator_tracks_engine_across_plans(self, problem):
+        """Figure 12 (right): estimates are within ~25% and rank-preserving."""
+        graph, workload, cluster = problem
+        estimator = RuntimeEstimator(graph, workload, cluster)
+        engine = RuntimeEngine(cluster, workload)
+
+        heuristic = build_heuristic_plan(graph, workload, cluster)
+        searched = RealSystem(
+            search_config=SearchConfig(max_iterations=800, time_budget_s=15, seed=1)
+        ).build_plan(graph, workload, cluster)
+
+        plans = {"heuristic": heuristic, "searched": searched}
+        estimated = {k: estimator.time_cost(p).total_seconds for k, p in plans.items()}
+        measured = {k: engine.run_iteration(graph, p).total_seconds for k, p in plans.items()}
+        for key in plans:
+            rel_err = abs(estimated[key] - measured[key]) / measured[key]
+            assert rel_err < 0.3
+        # Rank preservation.
+        assert (estimated["searched"] <= estimated["heuristic"]) == (
+            measured["searched"] <= measured["heuristic"]
+        )
+
+    def test_profiled_search_pipeline(self, problem):
+        """Full pipeline with profiling: profile -> estimate -> search -> run."""
+        graph, workload, cluster = problem
+        profiler = Profiler(cluster)
+        profiles = {
+            name: profiler.profile(
+                workload.model_config(name), max_tokens=2 ** 19,
+                tp_degrees=(1, 2, 4, 8), seq_lengths=(1024, 2048), max_batch=128,
+            )
+            for name in graph.model_names()
+        }
+        estimator = RuntimeEstimator(graph, workload, cluster, profiles=profiles)
+        searcher = MCMCSearcher(
+            graph, workload, cluster, estimator=estimator,
+            config=SearchConfig(max_iterations=500, time_budget_s=15, seed=0),
+            seed_plans=[build_heuristic_plan(graph, workload, cluster)],
+        )
+        result = searcher.search()
+        trace = RuntimeEngine(cluster, workload).run_iteration(graph, result.best_plan)
+        assert trace.total_seconds > 0
+        assert petaflops_per_second(workload, graph, trace.total_seconds) > 0
+
+
+class TestBeyondPPOIntegration:
+    @pytest.mark.parametrize("algorithm", ["dpo", "grpo", "remax"])
+    def test_other_algorithms_plan_and_run(self, algorithm):
+        graph = build_graph(algorithm)
+        workload = instructgpt_workload("7b", "7b", batch_size=64)
+        cluster = make_cluster(8)
+        evaluation = RealHeuristicSystem().evaluate(graph, workload, cluster)
+        assert evaluation.feasible
+        assert evaluation.petaflops > 0
+
+    def test_remax_concurrent_generations_help(self):
+        """ReMax's two generation calls can overlap under a searched plan."""
+        graph = build_graph("remax")
+        workload = instructgpt_workload("7b", "7b", batch_size=64)
+        cluster = make_cluster(16)
+        heuristic = build_heuristic_plan(graph, workload, cluster)
+        searched = RealSystem(
+            search_config=SearchConfig(max_iterations=1500, time_budget_s=20, seed=0)
+        ).build_plan(graph, workload, cluster)
+        engine = RuntimeEngine(cluster, workload)
+        t_heuristic = engine.run_iteration(graph, heuristic).total_seconds
+        t_searched = engine.run_iteration(graph, searched).total_seconds
+        assert t_searched <= t_heuristic * 1.02

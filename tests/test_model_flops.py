@@ -1,0 +1,88 @@
+"""Tests for the analytical FLOP counts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import flops as F
+from repro.model import get_model_config
+
+
+@pytest.fixture(scope="module")
+def cfg7b():
+    return get_model_config("7b")
+
+
+class TestLayerFlops:
+    def test_attention_scales_with_tokens(self, cfg7b):
+        one = F.attention_forward_flops(cfg7b, 1024, kv_len=512)
+        two = F.attention_forward_flops(cfg7b, 2048, kv_len=512)
+        assert two == pytest.approx(2 * one)
+
+    def test_mlp_flops_formula(self, cfg7b):
+        expected = 2 * 1000 * 3 * cfg7b.hidden_size * cfg7b.intermediate_size
+        assert F.mlp_forward_flops(cfg7b, 1000) == pytest.approx(expected)
+
+    def test_layer_is_attention_plus_mlp(self, cfg7b):
+        total = F.layer_forward_flops(cfg7b, 512, kv_len=256)
+        assert total == pytest.approx(
+            F.attention_forward_flops(cfg7b, 512, 256) + F.mlp_forward_flops(cfg7b, 512)
+        )
+
+
+class TestModelFlops:
+    def test_forward_roughly_2x_params_per_token(self, cfg7b):
+        # The classic 2 * N rule-of-thumb (plus attention): forward FLOPs per
+        # token should be within 2x of 2 * param_count for short sequences.
+        batch, seqlen = 4, 512
+        flops = F.model_forward_flops(cfg7b, batch, seqlen)
+        per_token = flops / (batch * seqlen)
+        assert 2 * cfg7b.param_count() * 0.8 < per_token < 2 * cfg7b.param_count() * 2.0
+
+    def test_backward_is_twice_forward(self, cfg7b):
+        fwd = F.model_forward_flops(cfg7b, 2, 128)
+        assert F.model_backward_flops(cfg7b, 2, 128) == pytest.approx(2 * fwd)
+
+    def test_training_is_three_times_forward(self, cfg7b):
+        fwd = F.model_forward_flops(cfg7b, 2, 128)
+        assert F.training_step_flops(cfg7b, 2, 128) == pytest.approx(3 * fwd)
+
+    def test_critic_head_much_cheaper(self):
+        actor = get_model_config("7b")
+        critic = get_model_config("7b", critic=True)
+        assert F.output_head_flops(critic, 1000) < F.output_head_flops(actor, 1000) / 1000
+
+    def test_larger_model_more_flops(self):
+        small = F.model_forward_flops(get_model_config("7b"), 1, 512)
+        large = F.model_forward_flops(get_model_config("70b"), 1, 512)
+        assert large > 5 * small
+
+
+class TestGenerationFlops:
+    def test_generation_includes_prefill(self, cfg7b):
+        prefill_only = F.generation_flops(cfg7b, 4, 128, 0)
+        assert prefill_only == pytest.approx(F.prefill_flops(cfg7b, 4, 128))
+
+    def test_generation_grows_with_gen_len(self, cfg7b):
+        short = F.generation_flops(cfg7b, 4, 128, 16)
+        long = F.generation_flops(cfg7b, 4, 128, 64)
+        assert long > short
+
+    def test_decode_step_much_cheaper_than_prefill(self, cfg7b):
+        prefill = F.prefill_flops(cfg7b, 4, 1024)
+        decode = F.decode_step_flops(cfg7b, 4, 1024)
+        assert decode < prefill / 100
+
+    def test_inference_equals_forward(self, cfg7b):
+        assert F.inference_flops(cfg7b, 8, 256) == pytest.approx(
+            F.model_forward_flops(cfg7b, 8, 256)
+        )
+
+
+@given(batch=st.integers(1, 64), seqlen=st.integers(16, 2048))
+def test_flops_positive_and_monotone_in_batch(batch, seqlen):
+    """Property: FLOPs are positive and grow with the batch size."""
+    cfg = get_model_config("7b")
+    base = F.model_forward_flops(cfg, batch, seqlen)
+    bigger = F.model_forward_flops(cfg, batch + 1, seqlen)
+    assert base > 0
+    assert bigger > base

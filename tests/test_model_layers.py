@@ -1,0 +1,81 @@
+"""Tests for the per-layer analytical kernel model."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.model import LayerCostModel, get_model_config
+
+
+@pytest.fixture(scope="module")
+def layer_model():
+    return LayerCostModel(get_model_config("7b"), make_cluster(16))
+
+
+class TestForwardBackward:
+    def test_forward_positive(self, layer_model):
+        timing = layer_model.forward_time(n_tokens=4096, seqlen=2048, tp=1)
+        assert timing.compute_s > 0
+        assert timing.total_s >= timing.compute_s
+
+    def test_tp_reduces_compute_but_adds_comm(self, layer_model):
+        tp1 = layer_model.forward_time(8192, 2048, tp=1)
+        tp8 = layer_model.forward_time(8192, 2048, tp=8)
+        assert tp8.compute_s < tp1.compute_s
+        assert tp8.tp_comm_s > tp1.tp_comm_s == 0.0
+
+    def test_backward_roughly_twice_forward(self, layer_model):
+        fwd = layer_model.forward_time(4096, 2048, tp=2)
+        bwd = layer_model.backward_time(4096, 2048, tp=2)
+        assert bwd.compute_s == pytest.approx(2 * fwd.compute_s)
+
+    def test_forward_scales_with_tokens(self, layer_model):
+        small = layer_model.forward_time(1024, 2048, tp=1)
+        large = layer_model.forward_time(4096, 2048, tp=1)
+        assert large.compute_s > 3 * small.compute_s
+
+
+class TestDecode:
+    def test_decode_is_memory_bound_for_small_batch(self, layer_model):
+        timing = layer_model.decode_time(batch=1, kv_len=1024, tp=1)
+        # The weight-streaming time dominates the (tiny) compute time.
+        weight_bytes = layer_model.config.layer_params() * 2
+        io_floor = weight_bytes / layer_model.cluster.gpu.achievable_hbm_bandwidth
+        assert timing.compute_s >= io_floor * 0.99
+
+    def test_cuda_graph_reduces_launch_overhead(self, layer_model):
+        with_graph = layer_model.decode_time(4, 1024, tp=1, use_cuda_graph=True)
+        without = layer_model.decode_time(4, 1024, tp=1, use_cuda_graph=False)
+        assert without.launch_s > with_graph.launch_s
+
+    def test_tp_shrinks_decode_io(self, layer_model):
+        tp1 = layer_model.decode_time(4, 1024, tp=1)
+        tp8 = layer_model.decode_time(4, 1024, tp=8)
+        assert tp8.compute_s < tp1.compute_s
+        assert tp8.tp_comm_s > 0
+
+    def test_decode_grows_with_kv_len(self, layer_model):
+        short = layer_model.decode_time(64, 256, tp=1)
+        long = layer_model.decode_time(64, 8192, tp=1)
+        assert long.compute_s > short.compute_s
+
+
+class TestHeadAndOptimizer:
+    def test_head_forward_vocab_dominates_for_actor(self, layer_model):
+        head = layer_model.head_forward_time(4096, tp=1)
+        assert head.compute_s > 0
+
+    def test_head_backward_twice_forward(self, layer_model):
+        fwd = layer_model.head_forward_time(4096, tp=2)
+        bwd = layer_model.head_backward_time(4096, tp=2)
+        assert bwd.compute_s == pytest.approx(2 * fwd.compute_s)
+
+    def test_critic_head_cheaper(self):
+        cluster = make_cluster(8)
+        actor = LayerCostModel(get_model_config("7b"), cluster)
+        critic = LayerCostModel(get_model_config("7b", critic=True), cluster)
+        assert critic.head_forward_time(4096, 1).compute_s < actor.head_forward_time(4096, 1).compute_s
+
+    def test_optimizer_step_shrinks_with_tp(self, layer_model):
+        tp1 = layer_model.optimizer_step_time(tp=1, pp=1)
+        tp8 = layer_model.optimizer_step_time(tp=8, pp=1)
+        assert tp8.compute_s < tp1.compute_s

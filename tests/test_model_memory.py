@@ -1,0 +1,95 @@
+"""Tests for the per-GPU memory footprint models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import MemoryModel, get_model_config
+from repro.model.memory import GRAD_BYTES, OPTIMIZER_BYTES_PER_PARAM, PARAM_BYTES
+
+
+@pytest.fixture(scope="module")
+def mem7b():
+    return MemoryModel(get_model_config("7b"))
+
+
+class TestParameterFootprints:
+    def test_params_shrink_with_tp_and_pp(self, mem7b):
+        full = mem7b.params_per_gpu(tp=1, pp=1)
+        assert mem7b.params_per_gpu(tp=2, pp=1) == pytest.approx(full / 2)
+        assert mem7b.params_per_gpu(tp=2, pp=4) == pytest.approx(full / 8)
+
+    def test_zero3_shards_across_dp(self, mem7b):
+        plain = mem7b.params_per_gpu(tp=1, pp=1, dp=8)
+        sharded = mem7b.params_per_gpu(tp=1, pp=1, dp=8, zero3=True)
+        assert sharded == pytest.approx(plain / 8)
+
+    def test_optimizer_sharded_across_dp(self, mem7b):
+        # Distributed optimizer (ZeRO-1) is assumed for every system.
+        single = mem7b.optimizer_per_gpu(tp=1, pp=1, dp=1)
+        assert mem7b.optimizer_per_gpu(tp=1, pp=1, dp=4) == pytest.approx(single / 4)
+
+    def test_static_memory_combines_grads_and_optimizer(self, mem7b):
+        static = mem7b.static_bytes_per_gpu(dp=1, tp=1, pp=1)
+        expected = mem7b.grads_per_gpu(1, 1, 1) + mem7b.optimizer_per_gpu(1, 1, 1)
+        assert static == pytest.approx(expected)
+
+    def test_byte_constants(self):
+        assert PARAM_BYTES == 2
+        assert GRAD_BYTES == 2
+        assert OPTIMIZER_BYTES_PER_PARAM == 12
+
+
+class TestCallFootprints:
+    def test_kv_cache_scales_with_batch_and_seq(self, mem7b):
+        base = mem7b.kv_cache_bytes(batch=8, seqlen=1024)
+        assert mem7b.kv_cache_bytes(batch=16, seqlen=1024) == pytest.approx(2 * base)
+        assert mem7b.kv_cache_bytes(batch=8, seqlen=2048) == pytest.approx(2 * base)
+
+    def test_kv_cache_sharded_by_tp(self, mem7b):
+        assert mem7b.kv_cache_bytes(8, 1024, tp=8) == pytest.approx(
+            mem7b.kv_cache_bytes(8, 1024) / 8
+        )
+
+    def test_microbatching_reduces_activations(self, mem7b):
+        one = mem7b.activation_bytes(n_tokens=65536, tp=1, pp=1, n_microbatches=1)
+        many = mem7b.activation_bytes(n_tokens=65536, tp=1, pp=1, n_microbatches=8)
+        assert many < one
+
+    def test_logits_buffer_is_huge_for_actor(self, mem7b):
+        # The paper's footnote: vocab x tokens x 2 bytes is hundreds of GB.
+        tokens = 512 * 2048
+        assert mem7b.logits_bytes(tokens, tp=1) > 250e9
+
+    def test_logits_buffer_tiny_for_critic(self):
+        critic = MemoryModel(get_model_config("7b", critic=True))
+        assert critic.logits_bytes(512 * 2048, tp=1) < 1e7
+
+    def test_training_breakdown_static_vs_active(self, mem7b):
+        breakdown = mem7b.training_breakdown(
+            batch_per_dp=8, seqlen=2048, dp=4, tp=2, pp=1, n_microbatches=8
+        )
+        assert breakdown.static == pytest.approx(breakdown.gradients + breakdown.optimizer)
+        assert breakdown.active > 0
+        assert breakdown.total == pytest.approx(breakdown.static + breakdown.active)
+
+    def test_inference_has_no_static_memory(self, mem7b):
+        breakdown = mem7b.inference_breakdown(8, 2048, dp=2, tp=2, pp=1)
+        assert breakdown.static == 0.0
+
+    def test_generation_dominated_by_kv_cache(self, mem7b):
+        breakdown = mem7b.generation_breakdown(
+            batch_per_dp=256, prompt_len=1024, gen_len=1024, dp=1, tp=1, pp=1
+        )
+        assert breakdown.kv_cache > breakdown.activations
+
+
+@given(
+    tp=st.sampled_from([1, 2, 4, 8]),
+    pp=st.sampled_from([1, 2, 4]),
+    dp=st.sampled_from([1, 2, 4, 8]),
+)
+def test_sharding_never_increases_footprint(tp, pp, dp):
+    """Property: more parallelism never increases per-GPU static memory."""
+    mem = MemoryModel(get_model_config("13b"))
+    baseline = mem.static_bytes_per_gpu(dp=1, tp=1, pp=1)
+    assert mem.static_bytes_per_gpu(dp=dp, tp=tp, pp=pp) <= baseline + 1e-6

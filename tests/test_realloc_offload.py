@@ -1,0 +1,59 @@
+"""Tests for parameter offloading decisions."""
+
+import pytest
+
+from repro.cluster import full_cluster_mesh, make_cluster
+from repro.core import Allocation, ParallelStrategy
+from repro.model import get_model_config
+from repro.realloc import offload_cost, should_offload
+
+
+@pytest.fixture(scope="module")
+def alloc8():
+    cluster = make_cluster(8)
+    return cluster, Allocation(full_cluster_mesh(cluster), ParallelStrategy(1, 8, 1))
+
+
+class TestOffloadCost:
+    def test_round_trip_is_offload_plus_reload(self, alloc8):
+        cluster, alloc = alloc8
+        decision = offload_cost(get_model_config("7b"), alloc, cluster)
+        assert decision.round_trip_seconds == pytest.approx(
+            decision.offload_seconds + decision.reload_seconds
+        )
+        assert decision.offload_seconds > 0
+
+    def test_bytes_match_shard_size(self, alloc8):
+        cluster, alloc = alloc8
+        config = get_model_config("7b")
+        decision = offload_cost(config, alloc, cluster)
+        assert decision.bytes_per_gpu == pytest.approx(config.param_count() / 8 * 2)
+
+    def test_larger_model_longer_transfer(self, alloc8):
+        cluster, alloc = alloc8
+        small = offload_cost(get_model_config("7b"), alloc, cluster)
+        large = offload_cost(get_model_config("70b"), alloc, cluster)
+        assert large.offload_seconds > small.offload_seconds
+
+
+class TestShouldOffload:
+    def test_offloads_under_pressure_with_long_idle(self, alloc8):
+        cluster, alloc = alloc8
+        decision = should_offload(
+            get_model_config("7b"), alloc, cluster, idle_seconds=100.0, memory_pressure=0.9
+        )
+        assert decision.offload
+
+    def test_keeps_resident_when_memory_is_plentiful(self, alloc8):
+        cluster, alloc = alloc8
+        decision = should_offload(
+            get_model_config("7b"), alloc, cluster, idle_seconds=100.0, memory_pressure=0.2
+        )
+        assert not decision.offload
+
+    def test_keeps_resident_for_short_idle(self, alloc8):
+        cluster, alloc = alloc8
+        decision = should_offload(
+            get_model_config("7b"), alloc, cluster, idle_seconds=0.01, memory_pressure=0.95
+        )
+        assert not decision.offload

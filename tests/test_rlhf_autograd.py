@@ -1,0 +1,162 @@
+"""Gradient-correctness tests for the minimal autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.rlhf.autograd import Tensor, concatenate, no_grad, stack
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = f(x)
+        flat[i] = original - eps
+        lo = f(x)
+        flat[i] = original
+        out[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x0: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6):
+    """Compare autograd and numeric gradients of ``build(Tensor) -> scalar Tensor``."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = build(x)
+    out.backward()
+    analytic = x.grad
+
+    def scalar(arr):
+        return build(Tensor(arr)).item()
+
+    numeric = numeric_grad(scalar, x0.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestBasicOps:
+    def test_add_mul_chain(self):
+        check_gradient(lambda x: ((x * 3.0 + 1.0) * x).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_div(self):
+        check_gradient(lambda x: ((x - 2.0) / (x * x + 1.0)).sum(), RNG.normal(size=(2, 5)))
+
+    def test_pow(self):
+        check_gradient(lambda x: (x ** 3).sum(), RNG.normal(size=(4,)))
+
+    def test_matmul(self):
+        w = RNG.normal(size=(4, 3))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), RNG.normal(size=(2, 4)))
+
+    def test_broadcasting_bias(self):
+        bias = RNG.normal(size=(1, 5))
+        check_gradient(lambda x: (x + Tensor(bias)).sum(), RNG.normal(size=(3, 5)))
+
+    def test_mean_axis(self):
+        check_gradient(lambda x: x.mean(axis=1).sum(), RNG.normal(size=(3, 6)))
+
+    def test_transpose_reshape(self):
+        check_gradient(
+            lambda x: (x.transpose(0, 1).reshape(12) * 2.0).sum(), RNG.normal(size=(3, 4))
+        )
+
+
+class TestNonlinearities:
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh().sum(), RNG.normal(size=(3, 3)))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: (x.exp() + 1.0).log().sum(), RNG.normal(size=(3, 3)))
+
+    def test_gelu(self):
+        check_gradient(lambda x: x.gelu().sum(), RNG.normal(size=(4, 4)))
+
+    def test_sigmoid_logsigmoid(self):
+        check_gradient(lambda x: x.sigmoid().sum(), RNG.normal(size=(5,)))
+        check_gradient(lambda x: x.logsigmoid().sum(), RNG.normal(size=(5,)))
+
+    def test_softmax_logsoftmax(self):
+        weights = RNG.normal(size=(3, 5))
+        check_gradient(lambda x: (x.log_softmax(axis=-1) * Tensor(weights)).sum(),
+                       RNG.normal(size=(3, 5)))
+        check_gradient(lambda x: (x.softmax(axis=-1) ** 2).sum(), RNG.normal(size=(2, 4)))
+
+    def test_clip_and_maximum(self):
+        x0 = RNG.normal(size=(6,)) * 2
+        check_gradient(lambda x: x.clip(-0.5, 0.5).sum(), x0, atol=1e-5)
+        check_gradient(lambda x: x.maximum(0.1).sum(), x0, atol=1e-5)
+
+    def test_masked_fill(self):
+        mask = RNG.random((3, 4)) > 0.5
+        check_gradient(lambda x: x.masked_fill(mask, -1e9).softmax(axis=-1).sum(), RNG.normal(size=(3, 4)))
+
+
+class TestIndexing:
+    def test_gather_last(self):
+        idx = RNG.integers(0, 5, size=(3,))
+        check_gradient(lambda x: x.gather_last(idx).sum(), RNG.normal(size=(3, 5)))
+
+    def test_index_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        check_gradient(lambda x: (x.index_rows(idx) ** 2).sum(), RNG.normal(size=(4, 3)))
+
+    def test_stack_and_concatenate(self):
+        a0 = RNG.normal(size=(2, 3))
+
+        def build(x):
+            stacked = stack([x, x * 2.0], axis=0)
+            return concatenate([stacked, stacked], axis=1).sum()
+
+        check_gradient(build, a0)
+
+
+class TestMechanics:
+    def test_no_grad_disables_tracking(self):
+        with no_grad():
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = (x * 2.0).sum()
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_zero_grad_and_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+        assert not x.detach().requires_grad
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x=hnp.arrays(np.float64, (3, 4), elements=st.floats(-3, 3)),
+    w=hnp.arrays(np.float64, (4, 2), elements=st.floats(-3, 3)),
+)
+def test_mlp_gradient_property(x, w):
+    """Property: autograd matches numeric gradients for a tiny MLP + softmax."""
+    def build(t):
+        return ((t @ Tensor(w)).gelu().log_softmax(axis=-1) * 0.5).sum()
+
+    check_gradient(build, x, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,201 @@
+"""Tests for the PPO / DPO / GRPO / ReMax numerical kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.rlhf import (
+    compute_gae,
+    dpo_implicit_rewards,
+    dpo_loss,
+    group_normalized_advantages,
+    grpo_policy_loss,
+    kl_penalty_rewards,
+    ppo_policy_loss,
+    ppo_value_loss,
+    remax_advantages,
+    remax_policy_loss,
+    whiten,
+)
+from repro.rlhf.autograd import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class TestGAE:
+    def test_single_step_equals_delta(self):
+        rewards = np.array([[1.0]])
+        values = np.array([[0.25]])
+        advantages, returns = compute_gae(rewards, values, gamma=1.0, gae_lambda=0.95)
+        assert advantages[0, 0] == pytest.approx(0.75)
+        assert returns[0, 0] == pytest.approx(1.0)
+
+    def test_lambda_zero_is_td_error(self):
+        rewards = RNG.normal(size=(2, 5))
+        values = RNG.normal(size=(2, 5))
+        advantages, _ = compute_gae(rewards, values, gamma=0.9, gae_lambda=0.0)
+        next_values = np.concatenate([values[:, 1:], np.zeros((2, 1))], axis=1)
+        expected = rewards + 0.9 * next_values - values
+        np.testing.assert_allclose(advantages, expected)
+
+    def test_lambda_one_is_monte_carlo(self):
+        rewards = RNG.normal(size=(1, 6))
+        values = RNG.normal(size=(1, 6))
+        advantages, returns = compute_gae(rewards, values, gamma=1.0, gae_lambda=1.0)
+        discounted = np.cumsum(rewards[0][::-1])[::-1]
+        np.testing.assert_allclose(returns[0], discounted)
+
+    def test_zero_values_returns_equal_reward_to_go(self):
+        rewards = np.array([[0.0, 0.0, 1.0]])
+        values = np.zeros((1, 3))
+        _, returns = compute_gae(rewards, values, gamma=1.0, gae_lambda=1.0)
+        np.testing.assert_allclose(returns, [[1.0, 1.0, 1.0]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_gae(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rewards=hnp.arrays(np.float64, (3, 7), elements=st.floats(-2, 2)),
+        values=hnp.arrays(np.float64, (3, 7), elements=st.floats(-2, 2)),
+    )
+    def test_returns_equal_advantages_plus_values(self, rewards, values):
+        advantages, returns = compute_gae(rewards, values)
+        np.testing.assert_allclose(returns, advantages + values, atol=1e-9)
+
+
+class TestWhitenAndRewards:
+    def test_whiten_zero_mean_unit_std(self):
+        out = whiten(RNG.normal(3.0, 2.0, size=(4, 8)))
+        assert abs(out.mean()) < 1e-9
+        assert out.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_whiten_keep_mean(self):
+        values = RNG.normal(5.0, 2.0, size=100)
+        out = whiten(values, shift_mean=False)
+        assert out.mean() == pytest.approx(values.mean(), rel=1e-6)
+
+    def test_kl_penalty_rewards_structure(self):
+        actor = np.log(np.full((2, 4), 0.5))
+        ref = np.log(np.full((2, 4), 0.25))
+        rewards = kl_penalty_rewards(np.array([1.0, 2.0]), actor, ref, kl_coef=0.1)
+        # Every token pays the same KL penalty; the score lands on the last token.
+        expected_kl = -0.1 * (np.log(0.5) - np.log(0.25))
+        np.testing.assert_allclose(rewards[:, :-1], expected_kl)
+        assert rewards[0, -1] == pytest.approx(expected_kl + 1.0)
+        assert rewards[1, -1] == pytest.approx(expected_kl + 2.0)
+
+    def test_kl_penalty_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_penalty_rewards(np.zeros(2), np.zeros((2, 3)), np.zeros((2, 4)), 0.1)
+
+
+class TestPPOLosses:
+    def test_policy_loss_zero_advantage_is_zero(self):
+        logp = Tensor(RNG.normal(size=(4, 6)), requires_grad=True)
+        loss = ppo_policy_loss(logp, logp.numpy(), np.zeros((4, 6)))
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_policy_gradient_points_toward_advantage(self):
+        old = np.log(np.full((1, 3), 0.5))
+        logp = Tensor(old.copy(), requires_grad=True)
+        advantages = np.array([[1.0, -1.0, 0.0]])
+        loss = ppo_policy_loss(logp, old, advantages)
+        loss.backward()
+        # Positive advantage: increase log-prob (negative gradient of loss).
+        assert logp.grad[0, 0] < 0
+        assert logp.grad[0, 1] > 0
+
+    def test_clipping_caps_the_update(self):
+        old = np.zeros((1, 1))
+        advantages = np.ones((1, 1))
+        inside = ppo_policy_loss(Tensor(np.array([[0.1]])), old, advantages, clip_ratio=0.2)
+        outside = ppo_policy_loss(Tensor(np.array([[5.0]])), old, advantages, clip_ratio=0.2)
+        # Once the ratio exceeds 1+clip, the objective stops improving.
+        assert outside.item() == pytest.approx(-1.2, rel=1e-6)
+        assert inside.item() > outside.item()
+
+    def test_value_loss_zero_at_target(self):
+        returns = RNG.normal(size=(3, 4))
+        loss = ppo_value_loss(Tensor(returns.copy()), returns.copy(), returns)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_value_loss_positive_otherwise(self):
+        returns = np.zeros((2, 2))
+        loss = ppo_value_loss(Tensor(np.ones((2, 2))), np.ones((2, 2)), returns)
+        assert loss.item() > 0
+
+
+class TestDPO:
+    def test_loss_decreases_when_margin_grows(self):
+        ref_c = np.zeros(4)
+        ref_r = np.zeros(4)
+        small = dpo_loss(Tensor(np.zeros(4)), Tensor(np.zeros(4)), ref_c, ref_r)
+        large = dpo_loss(Tensor(np.full(4, 2.0)), Tensor(np.full(4, -2.0)), ref_c, ref_r)
+        assert large.item() < small.item()
+
+    def test_loss_at_zero_margin_is_log2(self):
+        loss = dpo_loss(Tensor(np.zeros(8)), Tensor(np.zeros(8)), np.zeros(8), np.zeros(8))
+        assert loss.item() == pytest.approx(np.log(2.0), rel=1e-6)
+
+    def test_gradient_prefers_chosen(self):
+        chosen = Tensor(np.zeros(2), requires_grad=True)
+        rejected = Tensor(np.zeros(2), requires_grad=True)
+        dpo_loss(chosen, rejected, np.zeros(2), np.zeros(2)).backward()
+        assert np.all(chosen.grad < 0)       # push chosen log-probs up
+        assert np.all(rejected.grad > 0)     # push rejected log-probs down
+
+    def test_implicit_rewards(self):
+        rewards = dpo_implicit_rewards(np.array([1.0]), np.array([0.5]), beta=0.2)
+        assert rewards[0] == pytest.approx(0.1)
+
+
+class TestGRPO:
+    def test_group_advantages_zero_mean_unit_std(self):
+        rewards = RNG.normal(size=24)
+        advantages = group_normalized_advantages(rewards, group_size=8)
+        grouped = advantages.reshape(-1, 8)
+        np.testing.assert_allclose(grouped.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(grouped.std(axis=1), 1.0, rtol=1e-3)
+
+    def test_constant_group_gets_zero_advantage(self):
+        advantages = group_normalized_advantages(np.full(8, 3.0), group_size=4)
+        np.testing.assert_allclose(advantages, 0.0, atol=1e-6)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_normalized_advantages(np.zeros(10), group_size=3)
+        with pytest.raises(ValueError):
+            group_normalized_advantages(np.zeros(8), group_size=0)
+
+    def test_grpo_loss_prefers_best_of_group(self):
+        old = np.zeros((4, 3))
+        logp = Tensor(old.copy(), requires_grad=True)
+        rewards = np.array([0.0, 0.0, 0.0, 1.0])
+        grpo_policy_loss(logp, old, rewards, group_size=4).backward()
+        # The highest-reward sample's tokens get pushed up (negative gradient).
+        assert np.all(logp.grad[3] < 0)
+        assert np.all(logp.grad[:3] >= 0)
+
+
+class TestReMax:
+    def test_advantages_subtract_greedy_baseline(self):
+        adv = remax_advantages(np.array([1.0, 0.5]), np.array([0.25, 0.75]))
+        np.testing.assert_allclose(adv, [0.75, -0.25])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            remax_advantages(np.zeros(2), np.zeros(3))
+
+    def test_loss_gradient_sign(self):
+        logp = Tensor(np.zeros((2, 3)), requires_grad=True)
+        remax_policy_loss(logp, np.array([1.0, 0.0]), np.array([0.0, 1.0])).backward()
+        assert np.all(logp.grad[0] < 0)  # better-than-greedy: reinforce
+        assert np.all(logp.grad[1] > 0)  # worse-than-greedy: discourage
+
+    def test_zero_advantage_zero_loss(self):
+        logp = Tensor(RNG.normal(size=(3, 4)))
+        loss = remax_policy_loss(logp, np.ones(3), np.ones(3))
+        assert loss.item() == pytest.approx(0.0)

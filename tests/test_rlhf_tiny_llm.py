@@ -1,0 +1,155 @@
+"""Tests for the tiny functional transformer and its optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.rlhf import Adam, TinyLM, TinyLMConfig, generate, GenerationConfig
+from repro.rlhf.autograd import Tensor
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyLM(TinyLMConfig(vocab_size=16, max_seq_len=16, hidden_size=16, n_layers=2, n_heads=2), seed=0)
+
+
+class TestTinyLM:
+    def test_forward_shape(self, model):
+        tokens = np.zeros((3, 8), dtype=int)
+        logits = model(tokens)
+        assert logits.shape == (3, 8, 16)
+
+    def test_critic_forward_shape(self):
+        critic = TinyLM(TinyLMConfig(vocab_size=16, max_seq_len=16, hidden_size=16,
+                                     n_layers=1, n_heads=2, is_critic=True))
+        values = critic(np.zeros((2, 5), dtype=int))
+        assert values.shape == (2, 5)
+
+    def test_rejects_long_sequences(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 99), dtype=int))
+
+    def test_rejects_wrong_rank(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros(8, dtype=int))
+
+    def test_causality(self, model):
+        """Changing a future token must not change earlier logits."""
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 16, size=(1, 8))
+        logits_a = model(tokens).numpy()
+        tokens_b = tokens.copy()
+        tokens_b[0, -1] = (tokens_b[0, -1] + 1) % 16
+        logits_b = model(tokens_b).numpy()
+        np.testing.assert_allclose(logits_a[0, :-1], logits_b[0, :-1], atol=1e-10)
+
+    def test_token_log_probs_are_valid(self, model):
+        tokens = np.random.default_rng(1).integers(0, 16, size=(2, 6))
+        logp = model.token_log_probs(tokens)
+        assert logp.shape == (2, 5)
+        assert np.all(logp.numpy() <= 0)
+
+    def test_state_dict_roundtrip_and_clone(self, model):
+        clone = model.clone()
+        tokens = np.zeros((1, 4), dtype=int)
+        np.testing.assert_allclose(model(tokens).numpy(), clone(tokens).numpy())
+        state = model.state_dict()
+        state["head"] = state["head"] * -1.0
+        other = TinyLM(model.config, seed=99)
+        other.load_state_dict(state)
+        assert not np.allclose(other(tokens).numpy(), model(tokens).numpy())
+
+    def test_load_state_dict_missing_key(self, model):
+        state = model.state_dict()
+        del state["wte"]
+        with pytest.raises(KeyError):
+            TinyLM(model.config).load_state_dict(state)
+
+    def test_parameter_count_positive(self, model):
+        assert model.n_parameters() == sum(p.size for p in model.parameters())
+
+    def test_language_model_can_memorise_sequence(self):
+        """Supervised sanity check: the LM overfits a single repeated sequence."""
+        config = TinyLMConfig(vocab_size=8, max_seq_len=10, hidden_size=16, n_layers=1, n_heads=2)
+        model = TinyLM(config, seed=0)
+        optimizer = Adam(model.parameters(), lr=3e-2)
+        tokens = np.array([[1, 2, 3, 4, 5, 6, 7, 1]])
+        losses = []
+        for _ in range(40):
+            logp = model.token_log_probs(tokens)
+            loss = logp.mean() * -1.0
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestAdam:
+    def test_step_moves_parameters_against_gradient(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = Adam([p], lr=0.1)
+        (p * Tensor(np.array([1.0, -1.0, 2.0]))).sum().backward()
+        optimizer.step()
+        assert p.data[0] < 0 and p.data[1] > 0 and p.data[2] < 0
+
+    def test_skips_parameters_without_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([p], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Tensor(np.full(4, 10.0), requires_grad=True)
+        optimizer = Adam([p], lr=0.5, weight_decay=1.0)
+        (p * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_zero_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([p])
+        (p * 2.0).sum().backward()
+        optimizer.zero_grad()
+        assert p.grad is None
+
+
+class TestGeneration:
+    def test_shapes_and_prompt_preserved(self, model):
+        prompts = np.random.default_rng(0).integers(0, 16, size=(4, 5))
+        out = generate(model, prompts, GenerationConfig(max_new_tokens=6, seed=0))
+        assert out.sequences.shape == (4, 11)
+        assert out.responses.shape == (4, 6)
+        np.testing.assert_array_equal(out.sequences[:, :5], prompts)
+        assert out.response_log_probs.shape == (4, 6)
+        assert np.all(out.response_log_probs <= 0)
+
+    def test_tokens_within_vocab(self, model):
+        out = generate(model, np.zeros((2, 3), dtype=int), GenerationConfig(max_new_tokens=8, seed=1))
+        assert out.sequences.max() < model.config.vocab_size
+        assert out.sequences.min() >= 0
+
+    def test_greedy_is_deterministic(self, model):
+        prompts = np.ones((2, 4), dtype=int)
+        a = generate(model, prompts, GenerationConfig(max_new_tokens=5, greedy=True, seed=0))
+        b = generate(model, prompts, GenerationConfig(max_new_tokens=5, greedy=True, seed=123))
+        np.testing.assert_array_equal(a.sequences, b.sequences)
+
+    def test_sampling_seed_reproducible(self, model):
+        prompts = np.ones((2, 4), dtype=int)
+        a = generate(model, prompts, GenerationConfig(max_new_tokens=5, seed=7))
+        b = generate(model, prompts, GenerationConfig(max_new_tokens=5, seed=7))
+        np.testing.assert_array_equal(a.sequences, b.sequences)
+
+    def test_top_k_restricts_choices(self, model):
+        prompts = np.zeros((1, 3), dtype=int)
+        out = generate(model, prompts, GenerationConfig(max_new_tokens=10, top_k=1, seed=0))
+        greedy = generate(model, prompts, GenerationConfig(max_new_tokens=10, greedy=True))
+        np.testing.assert_array_equal(out.sequences, greedy.sequences)
+
+    def test_length_overflow_rejected(self, model):
+        with pytest.raises(ValueError):
+            generate(model, np.zeros((1, 10), dtype=int), GenerationConfig(max_new_tokens=100))
+
+    def test_bad_temperature_rejected(self, model):
+        with pytest.raises(ValueError):
+            generate(model, np.zeros((1, 3), dtype=int), GenerationConfig(temperature=0.0))

@@ -1,0 +1,106 @@
+"""End-to-end functional tests: the RLHF algorithms actually learn."""
+
+import numpy as np
+import pytest
+
+from repro.rlhf import (
+    DPOTrainer,
+    GRPOTrainer,
+    KeywordReward,
+    LengthReward,
+    PPOConfig,
+    PPOTrainer,
+    ReMaxTrainer,
+    RLHFTask,
+    TinyLMConfig,
+    TinyRewardModel,
+)
+
+
+TASK = RLHFTask(vocab_size=12, prompt_len=3, gen_len=5, batch_size=16, target_token=2, seed=0)
+
+
+class TestRewards:
+    def test_keyword_reward_counts_target(self):
+        reward = KeywordReward(target_token=2)
+        sequences = np.array([[9, 9, 2, 2, 2, 0], [9, 9, 0, 0, 0, 0]])
+        np.testing.assert_allclose(reward(sequences, prompt_len=2), [0.75, 0.0])
+
+    def test_length_reward(self):
+        reward = LengthReward(stop_token=0)
+        sequences = np.array([[5, 1, 2, 0, 3], [5, 1, 2, 3, 4]])
+        np.testing.assert_allclose(reward(sequences, prompt_len=1), [0.5, 1.0])
+
+    def test_tiny_reward_model_scores(self):
+        model = TinyRewardModel(TinyLMConfig(vocab_size=12, max_seq_len=12, hidden_size=16,
+                                             n_layers=1, n_heads=2))
+        scores = model(np.zeros((3, 6), dtype=int), prompt_len=2)
+        assert scores.shape == (3,)
+
+
+class TestPPOTrainer:
+    def test_step_produces_stats(self):
+        trainer = PPOTrainer(TASK, PPOConfig(n_minibatches=2), seed=0)
+        stats = trainer.step()
+        assert stats.iteration == 1
+        assert 0.0 <= stats.mean_reward <= 1.0
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+
+    def test_reference_model_stays_frozen(self):
+        trainer = PPOTrainer(TASK, PPOConfig(n_minibatches=2), seed=0)
+        before = {k: v.copy() for k, v in trainer.reference.state_dict().items()}
+        trainer.train(2)
+        after = trainer.reference.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_actor_parameters_change(self):
+        trainer = PPOTrainer(TASK, PPOConfig(n_minibatches=2), seed=0)
+        before = trainer.actor.state_dict()["head"].copy()
+        trainer.step()
+        assert not np.allclose(before, trainer.actor.state_dict()["head"])
+
+    def test_ppo_improves_reward(self):
+        """The core functional claim: PPO pushes the scripted reward up."""
+        trainer = PPOTrainer(
+            RLHFTask(vocab_size=10, prompt_len=2, gen_len=4, batch_size=24, target_token=3, seed=1),
+            PPOConfig(n_minibatches=2, learning_rate=8e-3, kl_coef=0.02),
+            seed=1,
+        )
+        stats = trainer.train(12)
+        early = np.mean([s.mean_reward for s in stats[:3]])
+        late = np.mean([s.mean_reward for s in stats[-3:]])
+        assert late > early + 0.05
+
+
+class TestOtherTrainers:
+    def test_dpo_loss_decreases(self):
+        trainer = DPOTrainer(TASK, beta=0.5, lr=5e-3, seed=0)
+        stats = trainer.train(8)
+        assert stats[-1].policy_loss < stats[0].policy_loss + 1e-6
+        assert all(np.isfinite(s.policy_loss) for s in stats)
+
+    def test_remax_improves_reward(self):
+        trainer = ReMaxTrainer(
+            RLHFTask(vocab_size=10, prompt_len=2, gen_len=4, batch_size=24, target_token=3, seed=2),
+            lr=8e-3, seed=2,
+        )
+        stats = trainer.train(12)
+        early = np.mean([s.mean_reward for s in stats[:3]])
+        late = np.mean([s.mean_reward for s in stats[-3:]])
+        assert late > early
+
+    def test_grpo_improves_reward(self):
+        trainer = GRPOTrainer(
+            RLHFTask(vocab_size=10, prompt_len=2, gen_len=4, batch_size=8, target_token=3, seed=3),
+            group_size=4, lr=8e-3, seed=3,
+        )
+        stats = trainer.train(10)
+        early = np.mean([s.mean_reward for s in stats[:3]])
+        late = np.mean([s.mean_reward for s in stats[-3:]])
+        assert late > early
+
+    def test_grpo_requires_group(self):
+        with pytest.raises(ValueError):
+            GRPOTrainer(TASK, group_size=1)
