@@ -12,12 +12,26 @@ The package is organised by subsystem:
 * :mod:`repro.algorithms` — PPO, DPO, GRPO and ReMax dataflow graphs.
 * :mod:`repro.baselines` — DeepSpeed-Chat, OpenRLHF, NeMo-Aligner, veRL and the
   Megatron heuristic as strategy models, plus ReaL itself.
+* :mod:`repro.service` — planner-as-a-service: workload fingerprinting, an
+  LRU plan cache with disk persistence, warm-started searches and a
+  concurrent deduplicating plan server.
 * :mod:`repro.experiments` — settings, metrics and runners for every figure.
 * :mod:`repro.rlhf` — a tiny functional NumPy transformer and end-to-end
   PPO/DPO/GRPO/ReMax training loops.
 """
 
-from . import algorithms, baselines, cluster, core, experiments, model, realloc, rlhf, runtime
+from . import (
+    algorithms,
+    baselines,
+    cluster,
+    core,
+    experiments,
+    model,
+    realloc,
+    rlhf,
+    runtime,
+    service,
+)
 from .cluster import ClusterSpec, DeviceMesh, make_cluster
 from .core import (
     Allocation,
@@ -33,8 +47,9 @@ from .core import (
     search_execution_plan,
 )
 from .runtime import RuntimeEngine
+from .service import PlanClient, PlanRequest, PlanService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -47,6 +62,7 @@ __all__ = [
     "baselines",
     "experiments",
     "rlhf",
+    "service",
     "ClusterSpec",
     "DeviceMesh",
     "make_cluster",
@@ -62,4 +78,7 @@ __all__ = [
     "SearchConfig",
     "search_execution_plan",
     "RuntimeEngine",
+    "PlanService",
+    "PlanClient",
+    "PlanRequest",
 ]

@@ -10,7 +10,10 @@ equivalent used by the examples and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..service.server import PlanService
 
 from ..cluster.hardware import ClusterSpec, make_cluster
 from ..model.config import ModelConfig, get_model_config
@@ -117,8 +120,26 @@ class ExperimentConfig:
     search: SearchConfig = field(default_factory=SearchConfig)
     prune: PruneConfig = field(default_factory=PruneConfig)
 
-    def run_search(self) -> SearchResult:
-        """Search for an efficient execution plan for this experiment."""
+    def run_search(self, service: Optional["PlanService"] = None) -> SearchResult:
+        """Search for an efficient execution plan for this experiment.
+
+        When a :class:`~repro.service.server.PlanService` is given the search
+        is routed through it: identical experiments are served from the plan
+        cache and misses are warm-started from similar cached plans.
+        """
+        if service is not None:
+            from ..service.server import PlanRequest  # local import avoids a cycle
+
+            response = service.plan(
+                PlanRequest(
+                    graph=self.graph,
+                    workload=self.workload,
+                    cluster=self.cluster,
+                    search=self.search,
+                    prune=self.prune,
+                )
+            )
+            return response.result
         return search_execution_plan(
             self.graph, self.workload, self.cluster, prune=self.prune, config=self.search
         )
@@ -169,11 +190,14 @@ def find_execution_plan(
     gpus_per_node: int = 8,
     search: SearchConfig = SearchConfig(),
     prune: PruneConfig = PruneConfig(),
+    service: Optional["PlanService"] = None,
 ) -> Tuple[SearchResult, ExperimentConfig]:
     """One-call entry point: search a plan for a named RLHF algorithm.
 
     Returns the search result together with the assembled experiment (graph,
     workload and cluster) so callers can evaluate or execute the plan.
+    Passing a :class:`~repro.service.server.PlanService` routes the search
+    through the planning service (shared cache, warm starts, deduplication).
     """
     from ..algorithms.registry import build_graph  # local import avoids a cycle
     from .workload import instructgpt_workload
@@ -191,5 +215,5 @@ def find_execution_plan(
     experiment = ExperimentConfig(
         graph=graph, workload=workload, cluster=cluster, search=search, prune=prune
     )
-    result = experiment.run_search()
+    result = experiment.run_search(service=service)
     return result, experiment

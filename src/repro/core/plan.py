@@ -12,7 +12,7 @@ computed by :mod:`repro.realloc` and :mod:`repro.runtime.data_transfer`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..cluster.hardware import ClusterSpec
 from ..cluster.topology import DeviceMesh, full_cluster_mesh
@@ -24,6 +24,8 @@ __all__ = [
     "ExecutionPlan",
     "ReallocationEdge",
     "DataTransferEdge",
+    "allocation_from_dict",
+    "plan_from_dict",
     "reallocation_edges",
     "data_transfer_edges",
     "symmetric_plan",
@@ -62,6 +64,29 @@ class Allocation:
             f"{self.mesh.describe()}  {self.parallel.describe()}  "
             f"mbs={self.n_microbatches}{suffix}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (cluster shape is stored separately).
+
+        The mesh is stored by its coordinates within its cluster; rebuilding
+        the allocation therefore requires a :class:`ClusterSpec` of the same
+        shape (see :func:`allocation_from_dict`).
+        """
+        return {
+            "mesh": {
+                "node_start": self.mesh.node_start,
+                "n_nodes": self.mesh.n_nodes,
+                "gpu_start": self.mesh.gpu_start,
+                "gpus_per_node": self.mesh.gpus_per_node,
+            },
+            "parallel": {
+                "dp": self.parallel.dp,
+                "tp": self.parallel.tp,
+                "pp": self.parallel.pp,
+            },
+            "n_microbatches": self.n_microbatches,
+            "zero3": self.zero3,
+        }
 
 
 @dataclass(frozen=True)
@@ -167,6 +192,74 @@ class ExecutionPlan:
             alloc = self.assignments[call_name]
             lines.append(f"  {call_name:<20s} {alloc.describe()}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation of the plan.
+
+        The originating cluster's shape is recorded so deserialization can
+        verify the target cluster is compatible (meshes are stored by
+        coordinates, not by the full hardware spec).
+        """
+        clusters = {a.mesh.cluster for a in self.assignments.values()}
+        shape: Optional[Tuple[int, int]] = None
+        if clusters:
+            any_cluster = next(iter(clusters))
+            shape = (any_cluster.n_nodes, any_cluster.gpus_per_node)
+        return {
+            "name": self.name,
+            "cluster_shape": list(shape) if shape is not None else None,
+            "assignments": {
+                call_name: alloc.to_dict()
+                for call_name, alloc in sorted(self.assignments.items())
+            },
+        }
+
+
+def allocation_from_dict(data: Mapping[str, Any], cluster: ClusterSpec) -> Allocation:
+    """Rebuild an :class:`Allocation` serialized by :meth:`Allocation.to_dict`.
+
+    ``cluster`` supplies the hardware substrate the stored mesh coordinates
+    refer to; it must have the same shape as the cluster the allocation was
+    serialized from, otherwise mesh construction fails with a clear error.
+    """
+    mesh_data = data["mesh"]
+    mesh = DeviceMesh(
+        cluster=cluster,
+        node_start=int(mesh_data["node_start"]),
+        n_nodes=int(mesh_data["n_nodes"]),
+        gpu_start=int(mesh_data["gpu_start"]),
+        gpus_per_node=int(mesh_data["gpus_per_node"]),
+    )
+    parallel_data = data["parallel"]
+    parallel = ParallelStrategy(
+        dp=int(parallel_data["dp"]),
+        tp=int(parallel_data["tp"]),
+        pp=int(parallel_data["pp"]),
+    )
+    return Allocation(
+        mesh=mesh,
+        parallel=parallel,
+        n_microbatches=int(data.get("n_microbatches", 1)),
+        zero3=bool(data.get("zero3", False)),
+    )
+
+
+def plan_from_dict(data: Mapping[str, Any], cluster: ClusterSpec) -> ExecutionPlan:
+    """Rebuild an :class:`ExecutionPlan` serialized by :meth:`ExecutionPlan.to_dict`."""
+    shape = data.get("cluster_shape")
+    if shape is not None and tuple(shape) != (cluster.n_nodes, cluster.gpus_per_node):
+        raise ValueError(
+            f"plan was serialized on a cluster of shape {tuple(shape)}, cannot "
+            f"deserialize onto ({cluster.n_nodes}, {cluster.gpus_per_node})"
+        )
+    assignments = {
+        call_name: allocation_from_dict(alloc_data, cluster)
+        for call_name, alloc_data in data["assignments"].items()
+    }
+    return ExecutionPlan(assignments, name=str(data.get("name", "plan")))
 
 
 # ---------------------------------------------------------------------- #

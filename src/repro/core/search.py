@@ -44,6 +44,11 @@ class SearchConfig:
     time_budget_s: float = 30.0
     seed: int = 0
     record_history: bool = True
+    initial_plan: Optional[ExecutionPlan] = None
+    """Optional warm-start hint: evaluated alongside the greedy plan and any
+    seed plans, so the chain starts from the best available candidate.  The
+    hint never hurts — the search result is at least as good as the hint's
+    cost.  Excluded from workload fingerprints (see :mod:`repro.service`)."""
 
 
 @dataclass
@@ -165,7 +170,10 @@ class MCMCSearcher:
         current = self.greedy_initial_plan()
         current_cost = self.estimator.cost(current, cfg.oom_penalty)
         initial_plan, initial_cost = current, current_cost
-        for seed_plan in self.seed_plans:
+        candidates = list(self.seed_plans)
+        if cfg.initial_plan is not None:
+            candidates.append(cfg.initial_plan)
+        for seed_plan in candidates:
             seed_cost = self.estimator.cost(seed_plan, cfg.oom_penalty)
             if seed_cost < current_cost:
                 current, current_cost = seed_plan, seed_cost
@@ -215,8 +223,18 @@ def search_execution_plan(
     prune: PruneConfig = PruneConfig(),
     config: SearchConfig = SearchConfig(),
     estimator: Optional[RuntimeEstimator] = None,
+    initial_plan: Optional[ExecutionPlan] = None,
 ) -> SearchResult:
-    """Convenience wrapper: build a searcher and run it once."""
+    """Convenience wrapper: build a searcher and run it once.
+
+    ``initial_plan`` optionally warm-starts the chain (e.g. from a cached plan
+    for a similar workload, see :mod:`repro.service.warm_start`); it takes
+    precedence over ``config.initial_plan`` when both are given.
+    """
+    if initial_plan is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, initial_plan=initial_plan)
     searcher = MCMCSearcher(
         graph=graph,
         workload=workload,

@@ -7,6 +7,7 @@ returns the rows/series the paper reports.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -22,6 +23,7 @@ from ..baselines import (
 from ..baselines.base import BaselineSystem, SystemEvaluation
 from ..core.estimator import RuntimeEstimator
 from ..core.search import SearchConfig
+from ..service.server import PlanService
 from .metrics import ThroughputRecord, static_memory_utilization
 from .settings import ExperimentSetting
 
@@ -38,10 +40,26 @@ SEARCH_BUDGET_ENV = "REPRO_SEARCH_BUDGET_SCALE"
 
 
 def _budget_scale() -> float:
-    try:
-        return float(os.environ.get(SEARCH_BUDGET_ENV, "1.0"))
-    except ValueError:
+    """Parse ``REPRO_SEARCH_BUDGET_SCALE`` into a positive finite factor.
+
+    A malformed value silently falling back to 1.0 would make an expensive
+    high-fidelity run silently cheap (or a typo'd ``-1`` produce negative
+    budgets), so invalid values are rejected loudly.
+    """
+    raw = os.environ.get(SEARCH_BUDGET_ENV)
+    if raw is None or not raw.strip():
         return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SEARCH_BUDGET_ENV} must be a number, got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(
+            f"{SEARCH_BUDGET_ENV} must be a positive finite number, got {raw!r}"
+        )
+    return scale
 
 
 def default_search_config(seed: int = 0) -> SearchConfig:
@@ -103,23 +121,44 @@ def evaluate_setting(
 def run_comparison(
     settings: Sequence[ExperimentSetting],
     systems: Optional[Sequence[BaselineSystem]] = None,
+    plan_service: Optional[PlanService] = None,
 ) -> List[ThroughputRecord]:
-    """Evaluate every system on every setting (the Figure 7 grid)."""
+    """Evaluate every system on every setting (the Figure 7 grid).
+
+    When ``plan_service`` is given, every searching system (ReaL) routes its
+    plan searches through the shared service for the duration of the grid,
+    so the whole grid reuses one plan cache: repeated settings are cache
+    hits and related settings warm-start each other instead of cold-starting
+    the MCMC chain per cell.  Each system's own ``plan_service`` attribute
+    is restored afterwards, so callers keep control of their systems'
+    routing outside this comparison.
+    """
     systems = list(systems) if systems is not None else default_systems()
-    records: List[ThroughputRecord] = []
-    for setting in settings:
-        for system in systems:
-            records.append(evaluate_setting(setting, system))
-    return records
+    routed = [system for system in systems if hasattr(system, "plan_service")]
+    previous = {id(system): system.plan_service for system in routed}
+    if plan_service is not None:
+        for system in routed:
+            system.plan_service = plan_service
+    try:
+        records: List[ThroughputRecord] = []
+        for setting in settings:
+            for system in systems:
+                records.append(evaluate_setting(setting, system))
+        return records
+    finally:
+        if plan_service is not None:
+            for system in routed:
+                system.plan_service = previous[id(system)]
 
 
 def run_heuristic_comparison(
     settings: Sequence[ExperimentSetting],
     seed: int = 0,
+    plan_service: Optional[PlanService] = None,
 ) -> List[ThroughputRecord]:
     """ReaL vs ReaL-Heuristic only (Figures 8 and 16)."""
     systems: List[BaselineSystem] = [
         RealHeuristicSystem(),
         RealSystem(search_config=default_search_config(seed)),
     ]
-    return run_comparison(settings, systems)
+    return run_comparison(settings, systems, plan_service=plan_service)

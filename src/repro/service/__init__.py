@@ -1,0 +1,45 @@
+"""Planner-as-a-service: cached, concurrent, warm-started plan serving.
+
+The paper's execution-plan search is a one-shot offline procedure; this
+subsystem turns it into a shared service so heavy planning traffic is cheap:
+
+* :mod:`repro.service.fingerprint` — canonical cache keys for planning
+  requests (exact key + warm-start family key).
+* :mod:`repro.service.cache` — thread-safe LRU plan cache with optional
+  on-disk JSON persistence.
+* :mod:`repro.service.warm_start` — seeding the MCMC search from the most
+  similar cached plan, adapted across cluster sizes.
+* :mod:`repro.service.server` — the concurrent :class:`PlanService` with
+  request deduplication and per-request statistics.
+* :mod:`repro.service.client` — the ergonomic :class:`PlanClient` front door
+  (single, named-algorithm and batch requests).
+"""
+
+from .cache import PlanCache, PlanCacheEntry
+from .client import PlanClient
+from .fingerprint import WorkloadFingerprint, canonical_request, fingerprint_request
+from .server import (
+    PlanRequest,
+    PlanResponse,
+    PlanService,
+    RequestStats,
+    ServiceStats,
+)
+from .warm_start import adapt_plan, select_warm_start, similarity_distance
+
+__all__ = [
+    "WorkloadFingerprint",
+    "canonical_request",
+    "fingerprint_request",
+    "PlanCache",
+    "PlanCacheEntry",
+    "select_warm_start",
+    "adapt_plan",
+    "similarity_distance",
+    "PlanRequest",
+    "PlanResponse",
+    "RequestStats",
+    "ServiceStats",
+    "PlanService",
+    "PlanClient",
+]

@@ -1,0 +1,288 @@
+"""Plan cache: LRU storage of search results keyed by workload fingerprint.
+
+The cache maps a :class:`~repro.service.fingerprint.WorkloadFingerprint` key
+to a :class:`PlanCacheEntry` — the serialized best plan plus the summary
+statistics of the search that produced it.  Entries are kept in LRU order and
+optionally persisted to a JSON file so a restarted service keeps its warm
+plans (the multi-tenant "plans as shared state" pattern of service-oriented
+FL/RLHF systems).
+
+The cache is thread-safe: the plan server's worker pool reads and writes it
+concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..cluster.hardware import ClusterSpec
+from ..core.plan import ExecutionPlan, plan_from_dict
+from ..core.search import SearchResult
+from .fingerprint import WorkloadFingerprint
+
+__all__ = ["PlanCacheEntry", "PlanCache"]
+
+DEFAULT_CACHE_CAPACITY = 128
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached search outcome.
+
+    ``plan_data`` is the JSON form of the best plan (meshes stored by
+    coordinates); ``cluster_shape`` records the ``(n_nodes, gpus_per_node)``
+    shape those coordinates refer to.  ``features`` mirrors the fingerprint's
+    scale knobs so the warm-start selector can rank entries without
+    re-deriving workloads.
+    """
+
+    key: str
+    family: str
+    features: Dict[str, float]
+    cluster_shape: Tuple[int, int]
+    plan_data: Dict[str, Any]
+    best_cost: float
+    initial_cost: float
+    n_iterations: int = 0
+    n_accepted: int = 0
+    elapsed_seconds: float = 0.0
+    search_space: float = 0.0
+
+    @classmethod
+    def from_search_result(
+        cls,
+        fingerprint: WorkloadFingerprint,
+        result: SearchResult,
+        cluster: ClusterSpec,
+    ) -> "PlanCacheEntry":
+        """Build an entry from a finished search."""
+        return cls(
+            key=fingerprint.key,
+            family=fingerprint.family,
+            features=dict(fingerprint.features),
+            cluster_shape=(cluster.n_nodes, cluster.gpus_per_node),
+            plan_data=result.best_plan.to_dict(),
+            best_cost=result.best_cost,
+            initial_cost=result.initial_cost,
+            n_iterations=result.n_iterations,
+            n_accepted=result.n_accepted,
+            elapsed_seconds=result.elapsed_seconds,
+            search_space=result.search_space,
+        )
+
+    def plan(self, cluster: ClusterSpec) -> ExecutionPlan:
+        """Rebuild the cached plan on ``cluster`` (must match the stored shape)."""
+        return plan_from_dict(self.plan_data, cluster)
+
+    def to_search_result(self, cluster: ClusterSpec) -> SearchResult:
+        """Reconstruct a summary :class:`SearchResult` for cache hits.
+
+        The proposal history is not persisted, and the initial plan is not
+        stored separately (it is only used for the improvement ratio), so the
+        reconstructed result reuses the best plan with the recorded initial
+        cost.
+        """
+        plan = self.plan(cluster)
+        return SearchResult(
+            best_plan=plan,
+            best_cost=self.best_cost,
+            initial_plan=plan,
+            initial_cost=self.initial_cost,
+            n_iterations=self.n_iterations,
+            n_accepted=self.n_accepted,
+            elapsed_seconds=self.elapsed_seconds,
+            history=[],
+            search_space=self.search_space,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for on-disk persistence."""
+        return {
+            "key": self.key,
+            "family": self.family,
+            "features": dict(self.features),
+            "cluster_shape": list(self.cluster_shape),
+            "plan": self.plan_data,
+            "best_cost": self.best_cost,
+            "initial_cost": self.initial_cost,
+            "n_iterations": self.n_iterations,
+            "n_accepted": self.n_accepted,
+            "elapsed_seconds": self.elapsed_seconds,
+            "search_space": self.search_space,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanCacheEntry":
+        """Inverse of :meth:`to_dict`."""
+        shape = tuple(int(v) for v in data["cluster_shape"])
+        if len(shape) != 2:
+            raise ValueError(f"cluster_shape must have two entries, got {shape}")
+        plan_shape = data["plan"].get("cluster_shape")
+        if plan_shape is not None and tuple(int(v) for v in plan_shape) != shape:
+            raise ValueError(
+                f"entry cluster_shape {shape} disagrees with the plan's "
+                f"{tuple(plan_shape)}"
+            )
+        return cls(
+            key=str(data["key"]),
+            family=str(data["family"]),
+            features={k: float(v) for k, v in data.get("features", {}).items()},
+            cluster_shape=(shape[0], shape[1]),
+            plan_data=dict(data["plan"]),
+            best_cost=float(data["best_cost"]),
+            initial_cost=float(data["initial_cost"]),
+            n_iterations=int(data.get("n_iterations", 0)),
+            n_accepted=int(data.get("n_accepted", 0)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            search_space=float(data.get("search_space", 0.0)),
+        )
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`PlanCacheEntry` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is evicted
+        when the cache overflows.
+    persist_path:
+        Optional JSON file.  When given, the cache loads existing entries at
+        construction and rewrites the file (atomically) after every mutation,
+        so plans survive service restarts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        persist_path: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.persist_path = persist_path
+        self._entries: "OrderedDict[str, PlanCacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if persist_path is not None and os.path.exists(persist_path):
+            self._load(persist_path)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[PlanCacheEntry]:
+        """Look up an entry by exact fingerprint key (refreshes LRU order)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[PlanCacheEntry]:
+        """Look up an entry without touching LRU order or hit/miss counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, entry: PlanCacheEntry) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry on overflow."""
+        with self._lock:
+            if entry.key in self._entries:
+                self._entries.move_to_end(entry.key)
+            self._entries[entry.key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._persist()
+
+    def family_entries(self, family: str) -> List[PlanCacheEntry]:
+        """All cached entries of a fingerprint family, most recent first."""
+        with self._lock:
+            return [
+                entry
+                for entry in reversed(self._entries.values())
+                if entry.family == family
+            ]
+
+    def keys(self) -> List[str]:
+        """Cached fingerprint keys in LRU-to-MRU order."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (and rewrite the persistence file, if any)."""
+        with self._lock:
+            self._entries.clear()
+            self._persist()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Force a rewrite of the persistence file (no-op without one)."""
+        with self._lock:
+            self._persist()
+
+    def _persist(self) -> None:
+        if self.persist_path is None:
+            return
+        payload = {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self._entries.values()],
+        }
+        directory = os.path.dirname(os.path.abspath(self.persist_path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.persist_path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _load(self, path: str) -> None:
+        # A cache file is disposable state: a corrupted or incompatible file
+        # must not prevent the service from starting, so bad payloads (or
+        # individual bad entries) are dropped instead of raised.
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            entries = payload.get("entries", [])
+        except (OSError, json.JSONDecodeError, AttributeError):
+            return
+        if not isinstance(entries, list):
+            return
+        for data in entries:
+            try:
+                entry = PlanCacheEntry.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._entries[entry.key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

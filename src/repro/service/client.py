@@ -1,0 +1,117 @@
+"""Client-side API of the plan service: single, named and batch requests.
+
+:class:`PlanClient` is the ergonomic front door of the planning subsystem:
+it owns (or borrows) a :class:`~repro.service.server.PlanService`, builds
+:class:`~repro.service.server.PlanRequest` objects from the same declarative
+inputs the rest of the library uses, and exposes a batch API that overlaps
+many searches on the service's worker pool.
+
+The experiment runner and :func:`repro.core.api.find_execution_plan` accept a
+service/client, so repeated planning calls — sweeps over settings, repeated
+benchmark invocations, multi-tenant callers — transparently share the plan
+cache and warm starts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cluster.hardware import ClusterSpec, make_cluster
+from ..core.dataflow import DataflowGraph
+from ..core.pruning import PruneConfig
+from ..core.search import SearchConfig
+from ..core.workload import RLHFWorkload, instructgpt_workload
+from .server import PlanRequest, PlanResponse, PlanService, ServiceStats
+
+__all__ = ["PlanClient"]
+
+
+class PlanClient:
+    """High-level client of a :class:`PlanService`.
+
+    When constructed without an explicit service the client creates and owns
+    one (closed by :meth:`close` or the context manager); when given a
+    service it only borrows it, so several clients can share a cache.
+    """
+
+    def __init__(self, service: Optional[PlanService] = None, **service_kwargs) -> None:
+        self._owns_service = service is None
+        self.service = service if service is not None else PlanService(**service_kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Request construction + dispatch
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        graph: DataflowGraph,
+        workload: RLHFWorkload,
+        cluster: ClusterSpec,
+        search: SearchConfig = SearchConfig(),
+        prune: PruneConfig = PruneConfig(),
+        timeout: Optional[float] = None,
+    ) -> PlanResponse:
+        """Plan one fully specified workload (blocking)."""
+        request = PlanRequest(
+            graph=graph, workload=workload, cluster=cluster, search=search, prune=prune
+        )
+        return self.service.plan(request, timeout=timeout)
+
+    def plan_algorithm(
+        self,
+        algorithm: str,
+        actor_size: str,
+        critic_size: str,
+        n_gpus: int,
+        batch_size: int = 512,
+        prompt_len: int = 1024,
+        gen_len: int = 1024,
+        n_ppo_minibatches: int = 8,
+        gpus_per_node: int = 8,
+        search: SearchConfig = SearchConfig(),
+        prune: PruneConfig = PruneConfig(),
+        timeout: Optional[float] = None,
+    ) -> PlanResponse:
+        """Plan a named RLHF algorithm (mirrors :func:`repro.core.api.find_execution_plan`)."""
+        from ..algorithms.registry import build_graph  # local import avoids a cycle
+
+        graph = build_graph(algorithm)
+        workload = instructgpt_workload(
+            actor_size=actor_size,
+            critic_size=critic_size,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+            gen_len=gen_len,
+            n_ppo_minibatches=n_ppo_minibatches,
+        )
+        cluster = make_cluster(n_gpus, gpus_per_node=gpus_per_node)
+        return self.plan(graph, workload, cluster, search=search, prune=prune, timeout=timeout)
+
+    def plan_many(
+        self, requests: Sequence[PlanRequest], timeout: Optional[float] = None
+    ) -> List[PlanResponse]:
+        """Batch API: submit every request, then gather responses in order.
+
+        All requests are enqueued before the first result is awaited, so
+        distinct workloads search concurrently on the service's worker pool
+        while duplicates collapse onto a single search.
+        """
+        return self.service.plan_many(list(requests), timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Introspection + lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregate counters of the underlying service."""
+        return self.service.stats
+
+    def close(self) -> None:
+        """Shut the service down if this client owns it."""
+        if self._owns_service:
+            self.service.shutdown()
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,318 @@
+"""Concurrent plan server: cached, deduplicated, warm-started plan search.
+
+The :class:`PlanService` turns the one-shot
+:func:`~repro.core.search.search_execution_plan` into a long-lived service:
+
+* requests are fingerprinted (:mod:`repro.service.fingerprint`) and served
+  from the :class:`~repro.service.cache.PlanCache` when an identical request
+  was solved before;
+* cache misses run on a thread-pool of search workers, and identical
+  requests arriving while one is already being searched *join* the in-flight
+  computation instead of starting a duplicate search;
+* misses are warm-started from the most similar cached plan of the same
+  fingerprint family (:mod:`repro.service.warm_start`);
+* every response carries per-request statistics (hit/miss, warm vs cold,
+  queue and search time) and the service aggregates them.
+
+The search itself is pure Python/NumPy and holds no locks, so a small pool
+genuinely overlaps request handling; the pool size bounds the number of
+concurrent searches, and the futures returned by :meth:`PlanService.submit`
+form the request queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.hardware import ClusterSpec
+from ..core.dataflow import DataflowGraph
+from ..core.plan import ExecutionPlan
+from ..core.pruning import PruneConfig, allocation_options
+from ..core.search import MCMCSearcher, SearchConfig, SearchResult
+from ..core.workload import RLHFWorkload
+from .cache import PlanCache, PlanCacheEntry
+from .fingerprint import WorkloadFingerprint, fingerprint_request
+from .warm_start import adapt_plan, select_warm_start
+
+__all__ = [
+    "PlanRequest",
+    "RequestStats",
+    "PlanResponse",
+    "ServiceStats",
+    "PlanService",
+]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning request: the full search problem."""
+
+    graph: DataflowGraph
+    workload: RLHFWorkload
+    cluster: ClusterSpec
+    search: SearchConfig = field(default_factory=SearchConfig)
+    prune: PruneConfig = field(default_factory=PruneConfig)
+
+    def fingerprint(self) -> WorkloadFingerprint:
+        """Stable identity of this request (exact key + family key)."""
+        return fingerprint_request(
+            self.graph, self.workload, self.cluster, self.search, self.prune
+        )
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """How one request was served."""
+
+    fingerprint: str
+    cache_hit: bool
+    warm_started: bool = False
+    dedup_joined: bool = False
+    queue_seconds: float = 0.0
+    search_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """A served plan plus provenance."""
+
+    plan: ExecutionPlan
+    cost: float
+    result: SearchResult
+    stats: RequestStats
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of a :class:`PlanService`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    warm_starts: int = 0
+    dedup_joins: int = 0
+    search_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "ServiceStats":
+        """Copy of the counters (the live object keeps mutating)."""
+        return dataclasses.replace(self)
+
+
+class PlanService:
+    """Planner-as-a-service on top of :mod:`repro.core.search`.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the search worker pool (concurrent cold searches).
+    cache:
+        An existing :class:`PlanCache` to share between services; by default
+        a private cache is created from ``cache_capacity``/``persist_path``.
+    warm_start:
+        Whether cache misses are seeded from the most similar cached plan of
+        the same fingerprint family.
+
+    The service is a context manager; :meth:`shutdown` drains the pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        cache: Optional[PlanCache] = None,
+        cache_capacity: int = 128,
+        persist_path: Optional[str] = None,
+        warm_start: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.cache = cache if cache is not None else PlanCache(
+            capacity=cache_capacity, persist_path=persist_path
+        )
+        self.warm_start = warm_start
+        self.stats = ServiceStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="plan-service"
+        )
+        self._inflight: Dict[str, "Future[PlanResponse]"] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def submit(self, request: PlanRequest) -> "Future[PlanResponse]":
+        """Enqueue a request; returns a future resolving to a :class:`PlanResponse`.
+
+        Cache hits resolve immediately; identical in-flight requests share a
+        single search (the joined future's response is marked
+        ``dedup_joined``).
+        """
+        if self._closed:
+            raise RuntimeError("PlanService has been shut down")
+        fingerprint = request.fingerprint()
+        submitted_at = time.perf_counter()
+        with self._lock:
+            self.stats.requests += 1
+            entry = self.cache.get(fingerprint.key)
+            if entry is None:
+                primary = self._inflight.get(fingerprint.key)
+                if primary is not None:
+                    self.stats.dedup_joins += 1
+                    return self._join_inflight(primary)
+                self.stats.cache_misses += 1
+                future = self._pool.submit(
+                    self._execute, request, fingerprint, submitted_at
+                )
+                self._inflight[fingerprint.key] = future
+                future.add_done_callback(
+                    lambda _f, key=fingerprint.key: self._clear_inflight(key)
+                )
+                return future
+            self.stats.cache_hits += 1
+        # Deserializing the cached plan can be comparatively expensive, so
+        # hits are materialised outside the lock to keep submission concurrent.
+        response = self._response_from_entry(entry, request, fingerprint, submitted_at)
+        done: "Future[PlanResponse]" = Future()
+        done.set_result(response)
+        return done
+
+    def plan(self, request: PlanRequest, timeout: Optional[float] = None) -> PlanResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(request).result(timeout=timeout)
+
+    def plan_many(
+        self, requests: List[PlanRequest], timeout: Optional[float] = None
+    ) -> List[PlanResponse]:
+        """Submit a batch of requests and gather the responses in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _clear_inflight(self, key: str) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    @staticmethod
+    def _join_inflight(
+        primary: "Future[PlanResponse]",
+    ) -> "Future[PlanResponse]":
+        """Chain a secondary future onto an in-flight search.
+
+        The joined caller receives the same plan but its response stats are
+        marked as a dedup join (it consumed no search budget of its own).
+        """
+        secondary: "Future[PlanResponse]" = Future()
+
+        def _propagate(done: "Future[PlanResponse]") -> None:
+            exc = done.exception()
+            if exc is not None:
+                secondary.set_exception(exc)
+                return
+            response = done.result()
+            secondary.set_result(
+                dataclasses.replace(
+                    response,
+                    stats=dataclasses.replace(response.stats, dedup_joined=True),
+                )
+            )
+
+        primary.add_done_callback(_propagate)
+        return secondary
+
+    def _response_from_entry(
+        self,
+        entry: PlanCacheEntry,
+        request: PlanRequest,
+        fingerprint: WorkloadFingerprint,
+        submitted_at: float,
+    ) -> PlanResponse:
+        result = entry.to_search_result(request.cluster)
+        elapsed = time.perf_counter() - submitted_at
+        stats = RequestStats(
+            fingerprint=fingerprint.key,
+            cache_hit=True,
+            total_seconds=elapsed,
+        )
+        return PlanResponse(
+            plan=result.best_plan, cost=result.best_cost, result=result, stats=stats
+        )
+
+    def _execute(
+        self,
+        request: PlanRequest,
+        fingerprint: WorkloadFingerprint,
+        submitted_at: float,
+    ) -> PlanResponse:
+        started_at = time.perf_counter()
+        queue_seconds = started_at - submitted_at
+        options = allocation_options(
+            request.graph, request.workload, request.cluster, request.prune
+        )
+        seed_plans: List[ExecutionPlan] = []
+        warm_started = False
+        if self.warm_start:
+            entry = select_warm_start(self.cache, fingerprint)
+            if entry is not None:
+                warm_plan = adapt_plan(entry, request.graph, request.cluster, options)
+                if warm_plan is not None:
+                    seed_plans.append(warm_plan)
+                    warm_started = True
+        searcher = MCMCSearcher(
+            graph=request.graph,
+            workload=request.workload,
+            cluster=request.cluster,
+            options=options,
+            prune=request.prune,
+            config=request.search,
+            seed_plans=seed_plans,
+        )
+        result = searcher.search()
+        self.cache.put(
+            PlanCacheEntry.from_search_result(fingerprint, result, request.cluster)
+        )
+        finished_at = time.perf_counter()
+        with self._lock:
+            if warm_started:
+                self.stats.warm_starts += 1
+            self.stats.search_seconds += result.elapsed_seconds
+        stats = RequestStats(
+            fingerprint=fingerprint.key,
+            cache_hit=False,
+            warm_started=warm_started,
+            queue_seconds=queue_seconds,
+            search_seconds=result.elapsed_seconds,
+            total_seconds=finished_at - submitted_at,
+        )
+        return PlanResponse(
+            plan=result.best_plan,
+            cost=result.best_cost,
+            result=result,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests and optionally wait for in-flight searches."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

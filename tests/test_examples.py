@@ -1,0 +1,88 @@
+"""Smoke tests for the ``examples/`` scripts: import + tiny-setting run.
+
+Examples drift silently when they are not exercised; each test loads the
+script as a module and runs its ``main()`` with a tiny CLI configuration so
+the whole path (argument parsing, planning, simulated execution, printing)
+executes in well under a second per script.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_main(monkeypatch, name: str, argv: list[str]):
+    module = _load_example(name)
+    monkeypatch.setattr(sys, "argv", [f"{name}.py", *argv])
+    module.main()
+
+
+def test_examples_directory_complete():
+    names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "compare_rlhf_systems",
+        "long_context_planning",
+        "quickstart",
+        "tiny_rlhf_training",
+    ]
+
+
+def test_quickstart_tiny_run(monkeypatch, capsys):
+    _run_main(
+        monkeypatch,
+        "quickstart",
+        ["--gpus", "8", "--batch-size", "64", "--search-seconds", "0.2"],
+    )
+    out = capsys.readouterr().out
+    assert "ExecutionPlan" in out
+    assert "Speedup of the searched plan" in out
+
+
+def test_compare_rlhf_systems_tiny_run(monkeypatch, capsys):
+    _run_main(
+        monkeypatch,
+        "compare_rlhf_systems",
+        ["--gpus", "8", "--search-seconds", "0.2"],
+    )
+    out = capsys.readouterr().out
+    assert "ReaL" in out and "PFLOP/s" in out
+
+
+def test_long_context_planning_tiny_run(monkeypatch, capsys):
+    _run_main(
+        monkeypatch,
+        "long_context_planning",
+        ["--gpus", "8", "--search-seconds", "0.2"],
+    )
+    out = capsys.readouterr().out
+    assert "8192" in out and "improvement" in out
+
+
+def test_tiny_rlhf_training_tiny_run(monkeypatch, capsys):
+    _run_main(monkeypatch, "tiny_rlhf_training", ["--iterations", "2"])
+    out = capsys.readouterr().out
+    for name in ("PPO", "ReMax", "GRPO", "DPO"):
+        assert name in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "compare_rlhf_systems", "long_context_planning", "tiny_rlhf_training"],
+)
+def test_example_imports_cleanly(name):
+    module = _load_example(name)
+    assert callable(module.main)

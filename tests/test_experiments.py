@@ -121,8 +121,16 @@ class TestRunner:
     def test_default_search_config_scalable(self, monkeypatch):
         monkeypatch.setenv("REPRO_SEARCH_BUDGET_SCALE", "2.0")
         assert default_search_config().max_iterations == 6000
-        monkeypatch.setenv("REPRO_SEARCH_BUDGET_SCALE", "bogus")
+        monkeypatch.delenv("REPRO_SEARCH_BUDGET_SCALE")
         assert default_search_config().max_iterations == 3000
+        monkeypatch.setenv("REPRO_SEARCH_BUDGET_SCALE", "  ")
+        assert default_search_config().max_iterations == 3000
+
+    @pytest.mark.parametrize("bad", ["bogus", "0", "-1", "-2.5", "nan", "inf"])
+    def test_default_search_config_rejects_garbage_scale(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SEARCH_BUDGET_SCALE", bad)
+        with pytest.raises(ValueError, match="REPRO_SEARCH_BUDGET_SCALE"):
+            default_search_config()
 
     def test_evaluate_setting_produces_record(self):
         setting = ExperimentSetting("tiny", "7b", "7b", n_gpus=8, batch_size=64)

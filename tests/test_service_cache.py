@@ -1,0 +1,189 @@
+"""Tests for the plan service's fingerprinting and plan cache."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import build_dpo_graph, build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import (
+    MCMCSearcher,
+    ParallelStrategy,
+    SearchConfig,
+    instructgpt_workload,
+    plan_from_dict,
+    symmetric_plan,
+)
+from repro.service import (
+    PlanCache,
+    PlanCacheEntry,
+    fingerprint_request,
+)
+
+
+SMALL_SEARCH = SearchConfig(max_iterations=60, time_budget_s=10.0, record_history=False)
+
+
+def _fingerprint(batch_size=128, n_gpus=8, actor="7b", graph=None, search=SMALL_SEARCH):
+    graph = graph if graph is not None else build_ppo_graph()
+    workload = instructgpt_workload(actor, "7b", batch_size=batch_size)
+    cluster = make_cluster(n_gpus)
+    return fingerprint_request(graph, workload, cluster, search)
+
+
+def _entry(key="k", family="f", cost=1.0, cluster=None, plan=None) -> PlanCacheEntry:
+    cluster = cluster or make_cluster(8)
+    plan = plan or symmetric_plan(
+        build_ppo_graph(), cluster, ParallelStrategy(dp=1, tp=8, pp=1)
+    )
+    return PlanCacheEntry(
+        key=key,
+        family=family,
+        features={"batch_size": 128.0},
+        cluster_shape=(cluster.n_nodes, cluster.gpus_per_node),
+        plan_data=plan.to_dict(),
+        best_cost=cost,
+        initial_cost=2 * cost,
+    )
+
+
+class TestFingerprint:
+    def test_identical_requests_share_key(self):
+        assert _fingerprint().key == _fingerprint().key
+        assert _fingerprint().family == _fingerprint().family
+
+    def test_key_is_stable_hex(self):
+        fp = _fingerprint()
+        assert len(fp.key) == 64 and int(fp.key, 16) >= 0
+        assert fp.short_key == fp.key[:12]
+
+    def test_scale_changes_key_not_family(self):
+        base = _fingerprint(batch_size=128, n_gpus=8)
+        bigger_batch = _fingerprint(batch_size=256, n_gpus=8)
+        bigger_cluster = _fingerprint(batch_size=128, n_gpus=16)
+        assert base.key != bigger_batch.key != bigger_cluster.key
+        assert base.family == bigger_batch.family == bigger_cluster.family
+
+    def test_model_and_graph_change_family(self):
+        base = _fingerprint()
+        other_model = _fingerprint(actor="13b")
+        other_graph = _fingerprint(graph=build_dpo_graph())
+        assert base.family != other_model.family
+        assert base.family != other_graph.family
+
+    def test_search_budget_changes_key(self):
+        fast = _fingerprint(search=SearchConfig(max_iterations=10))
+        slow = _fingerprint(search=SearchConfig(max_iterations=1000))
+        assert fast.key != slow.key
+
+    def test_observability_fields_do_not_change_key(self):
+        plain = _fingerprint(search=SMALL_SEARCH)
+        with_history = _fingerprint(
+            search=dataclasses.replace(SMALL_SEARCH, record_history=True)
+        )
+        cluster = make_cluster(8)
+        hint = symmetric_plan(build_ppo_graph(), cluster, ParallelStrategy(dp=1, tp=8, pp=1))
+        with_hint = _fingerprint(
+            search=dataclasses.replace(SMALL_SEARCH, initial_plan=hint)
+        )
+        assert plain.key == with_history.key == with_hint.key
+
+
+class TestPlanSerialization:
+    def test_plan_round_trip(self, ppo_graph, two_node_cluster):
+        plan = symmetric_plan(
+            ppo_graph, two_node_cluster, ParallelStrategy(dp=2, tp=8, pp=1),
+            n_microbatches=4,
+        )
+        data = plan.to_dict()
+        rebuilt = plan_from_dict(data, two_node_cluster)
+        assert rebuilt.name == plan.name
+        assert rebuilt.assignments == plan.assignments
+
+    def test_plan_rejects_mismatched_cluster_shape(self, ppo_graph, two_node_cluster):
+        plan = symmetric_plan(ppo_graph, two_node_cluster, ParallelStrategy(dp=2, tp=8, pp=1))
+        with pytest.raises(ValueError, match="shape"):
+            plan_from_dict(plan.to_dict(), make_cluster(8))
+
+
+class TestPlanCache:
+    def test_get_put_and_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("missing") is None
+        cache.put(_entry(key="a"))
+        hit = cache.get("a")
+        assert hit is not None and hit.best_cost == 1.0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(_entry(key="a"))
+        cache.put(_entry(key="b"))
+        assert cache.get("a") is not None  # refresh 'a'; 'b' becomes LRU
+        cache.put(_entry(key="c"))
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_family_entries_most_recent_first(self):
+        cache = PlanCache(capacity=8)
+        cache.put(_entry(key="a", family="f1"))
+        cache.put(_entry(key="b", family="f2"))
+        cache.put(_entry(key="c", family="f1"))
+        assert [e.key for e in cache.family_entries("f1")] == ["c", "a"]
+
+    def test_disk_round_trip(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        cluster = make_cluster(8)
+        cache = PlanCache(capacity=4, persist_path=path)
+        cache.put(_entry(key="a", family="f", cost=3.5, cluster=cluster))
+
+        reloaded = PlanCache(capacity=4, persist_path=path)
+        entry = reloaded.get("a")
+        assert entry is not None
+        assert entry.best_cost == 3.5 and entry.family == "f"
+        plan = entry.plan(cluster)
+        original = _entry(cluster=cluster).plan(cluster)
+        assert plan.assignments == original.assignments
+        result = entry.to_search_result(cluster)
+        assert result.best_cost == 3.5 and result.initial_cost == 7.0
+
+    @pytest.mark.parametrize(
+        "payload", ["{not json", '{"version": 1, "entries": 5}', '{"entries": [{}]}', "[]"]
+    )
+    def test_corrupt_persist_file_starts_empty(self, tmp_path, payload):
+        path = tmp_path / "plans.json"
+        path.write_text(payload)
+        cache = PlanCache(capacity=4, persist_path=str(path))
+        assert len(cache) == 0
+        cache.put(_entry(key="a"))  # and the file becomes writable again
+        assert len(PlanCache(capacity=4, persist_path=str(path))) == 1
+
+    def test_entry_rejects_disagreeing_cluster_shapes(self):
+        data = _entry(key="a").to_dict()
+        data["cluster_shape"] = [2, 8]  # plan says (1, 8)
+        with pytest.raises(ValueError, match="disagrees"):
+            PlanCacheEntry.from_dict(data)
+
+    def test_reload_respects_capacity(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        cache = PlanCache(capacity=4, persist_path=path)
+        for name in "abcd":
+            cache.put(_entry(key=name))
+        shrunken = PlanCache(capacity=2, persist_path=path)
+        assert len(shrunken) == 2
+        assert shrunken.keys() == ["c", "d"]  # most recent survive
+
+    def test_entry_from_search_result(self, ppo_graph, small_workload, small_cluster):
+        searcher = MCMCSearcher(
+            ppo_graph, small_workload, small_cluster, config=SMALL_SEARCH
+        )
+        result = searcher.search()
+        fp = fingerprint_request(ppo_graph, small_workload, small_cluster, SMALL_SEARCH)
+        entry = PlanCacheEntry.from_search_result(fp, result, small_cluster)
+        assert entry.key == fp.key and entry.family == fp.family
+        rebuilt = entry.plan(small_cluster)
+        assert rebuilt.assignments == result.best_plan.assignments
+        assert entry.to_search_result(small_cluster).best_cost == result.best_cost

@@ -1,0 +1,215 @@
+"""Tests for the concurrent plan server, warm starts and service routing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import RealSystem
+from repro.cluster import make_cluster
+from repro.core import SearchConfig, find_execution_plan, instructgpt_workload
+from repro.experiments import ExperimentSetting, run_comparison
+from repro.service import (
+    PlanClient,
+    PlanRequest,
+    PlanService,
+    select_warm_start,
+)
+
+
+def _request(batch_size=128, n_gpus=8, max_iterations=300, seed=0, graph=None):
+    from repro.algorithms import build_ppo_graph
+
+    graph = graph if graph is not None else build_ppo_graph()
+    return PlanRequest(
+        graph=graph,
+        workload=instructgpt_workload("7b", "7b", batch_size=batch_size),
+        cluster=make_cluster(n_gpus),
+        search=SearchConfig(
+            max_iterations=max_iterations,
+            time_budget_s=30.0,
+            seed=seed,
+            record_history=False,
+        ),
+    )
+
+
+@pytest.fixture()
+def service():
+    svc = PlanService(max_workers=2)
+    yield svc
+    svc.shutdown()
+
+
+class TestCacheHits:
+    def test_second_identical_request_is_10x_faster(self, service):
+        request = _request(max_iterations=400)
+        start = time.perf_counter()
+        first = service.plan(request)
+        miss_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        second = service.plan(request)
+        hit_seconds = time.perf_counter() - start
+
+        assert not first.stats.cache_hit and second.stats.cache_hit
+        assert second.cost == first.cost
+        assert second.plan.assignments == first.plan.assignments
+        # The cached answer must be at least 10x faster than the search.
+        assert miss_seconds >= 10.0 * hit_seconds
+        assert service.stats.cache_hits == 1 and service.stats.cache_misses == 1
+        assert service.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_reconstructs_search_result(self, service):
+        request = _request(max_iterations=120)
+        first = service.plan(request)
+        second = service.plan(request)
+        assert second.result.best_cost == first.result.best_cost
+        assert second.result.initial_cost == first.result.initial_cost
+        assert second.result.n_iterations == first.result.n_iterations
+
+    def test_different_requests_do_not_collide(self, service):
+        a = service.plan(_request(batch_size=128, max_iterations=80))
+        b = service.plan(_request(batch_size=192, max_iterations=80))
+        assert service.stats.cache_hits == 0
+        assert a.stats.fingerprint != b.stats.fingerprint
+
+
+class TestDeduplication:
+    def test_inflight_duplicates_share_one_search(self, service):
+        request = _request(max_iterations=1200)
+        futures = [service.submit(request) for _ in range(3)]
+        responses = [future.result() for future in futures]
+        assert service.stats.dedup_joins == 2
+        assert sum(r.stats.dedup_joined for r in responses) == 2
+        assert len({r.cost for r in responses}) == 1
+        # Only one search actually ran.
+        assert service.stats.cache_misses == 1
+
+    def test_submit_after_shutdown_raises(self):
+        svc = PlanService(max_workers=1)
+        svc.shutdown()
+        with pytest.raises(RuntimeError):
+            svc.submit(_request(max_iterations=10))
+
+
+class TestWarmStart:
+    def test_warm_start_no_worse_than_cold_on_same_budget(self):
+        budget = SearchConfig(
+            max_iterations=150, time_budget_s=30.0, seed=0, record_history=False
+        )
+        perturbed = _request(batch_size=192)
+        perturbed = PlanRequest(
+            graph=perturbed.graph,
+            workload=perturbed.workload,
+            cluster=perturbed.cluster,
+            search=budget,
+        )
+
+        cold = PlanService(max_workers=1, warm_start=False)
+        try:
+            cold_response = cold.plan(perturbed)
+        finally:
+            cold.shutdown()
+
+        warm = PlanService(max_workers=1, warm_start=True)
+        try:
+            # Solve a *similar* workload first (larger budget, so the cached
+            # plan is well optimized), then the perturbed one warm-starts.
+            warm.plan(_request(batch_size=128, max_iterations=1000))
+            warm_response = warm.plan(perturbed)
+        finally:
+            warm.shutdown()
+
+        assert warm_response.stats.warm_started
+        assert not cold_response.stats.warm_started
+        assert warm_response.cost <= cold_response.cost
+
+    def test_warm_start_across_cluster_sizes(self):
+        svc = PlanService(max_workers=1)
+        try:
+            svc.plan(_request(batch_size=128, n_gpus=8, max_iterations=600))
+            response = svc.plan(_request(batch_size=256, n_gpus=16, max_iterations=100))
+        finally:
+            svc.shutdown()
+        assert response.stats.warm_started
+        assert svc.stats.warm_starts == 1
+        # The adapted seed lives on the 16-GPU cluster.
+        for alloc in response.plan.assignments.values():
+            assert alloc.mesh.cluster.n_gpus == 16
+
+    def test_select_warm_start_prefers_similar_scale(self, service):
+        service.plan(_request(batch_size=64, max_iterations=40))
+        service.plan(_request(batch_size=256, max_iterations=40))
+        fingerprint = _request(batch_size=224).fingerprint()
+        chosen = select_warm_start(service.cache, fingerprint)
+        assert chosen is not None
+        assert chosen.features["batch_size"] == 256.0
+
+
+class TestClientAndRouting:
+    def test_client_batch_api_mixed_stream(self):
+        with PlanClient(max_workers=2) as client:
+            requests = [
+                _request(batch_size=128, max_iterations=80),
+                _request(batch_size=192, max_iterations=80),
+                _request(batch_size=128, max_iterations=80),
+                _request(batch_size=192, max_iterations=80),
+            ]
+            responses = client.plan_many(requests)
+            assert len(responses) == 4
+            assert responses[0].cost == responses[2].cost
+            assert responses[1].cost == responses[3].cost
+            stats = client.stats
+            # Duplicates were either cache hits or dedup joins, never a
+            # second search.
+            assert stats.cache_misses == 2
+            assert stats.cache_hits + stats.dedup_joins == 2
+
+    def test_find_execution_plan_routes_through_service(self):
+        search = SearchConfig(max_iterations=80, time_budget_s=30.0, seed=0)
+        with PlanService(max_workers=1) as svc:
+            result_a, _ = find_execution_plan(
+                "ppo", "7b", "7b", n_gpus=8, batch_size=128,
+                search=search, service=svc,
+            )
+            result_b, experiment = find_execution_plan(
+                "ppo", "7b", "7b", n_gpus=8, batch_size=128,
+                search=search, service=svc,
+            )
+            assert svc.stats.cache_hits == 1
+            assert result_b.best_cost == result_a.best_cost
+            assert experiment.cluster.n_gpus == 8
+
+    def test_real_system_reuses_service_across_evaluations(self):
+        setting = ExperimentSetting("tiny", "7b", "7b", n_gpus=8, batch_size=64)
+        search = SearchConfig(max_iterations=120, time_budget_s=30.0, seed=0)
+        with PlanService(max_workers=1) as svc:
+            system = RealSystem(search_config=search)
+            run_comparison([setting], [system], plan_service=svc)
+            assert svc.stats.cache_misses == 1
+            run_comparison([setting], [system], plan_service=svc)
+            assert svc.stats.cache_hits == 1
+            assert system.last_result is not None
+            # The grid borrows the service; the system is restored after,
+            # so a later direct evaluation does not hit a shut-down service.
+            assert system.plan_service is None
+
+    def test_initial_plan_hook_in_search_execution_plan(self):
+        from repro.core import search_execution_plan
+        from repro.baselines import build_heuristic_plan
+
+        request = _request()
+        hint = build_heuristic_plan(request.graph, request.workload, request.cluster)
+        config = SearchConfig(max_iterations=0, time_budget_s=30.0, seed=0)
+        cold = search_execution_plan(
+            request.graph, request.workload, request.cluster, config=config
+        )
+        hinted = search_execution_plan(
+            request.graph, request.workload, request.cluster, config=config,
+            initial_plan=hint,
+        )
+        # With a zero budget the result is the best starting candidate, so
+        # the hint can only improve (here: strictly, greedy plans OOM).
+        assert hinted.best_cost <= cold.best_cost
