@@ -119,6 +119,16 @@ class ExperimentConfig:
     cluster: ClusterSpec
     search: SearchConfig = field(default_factory=SearchConfig)
     prune: PruneConfig = field(default_factory=PruneConfig)
+    estimator: Optional[RuntimeEstimator] = None
+    """Shared fast-path estimator.  Built lazily on the first local search and
+    reused by every subsequent one, so the memoised per-call/per-edge costs
+    carry over across repeated searches of the same experiment."""
+
+    def get_estimator(self) -> RuntimeEstimator:
+        """The (lazily built) estimator for this experiment."""
+        if self.estimator is None:
+            self.estimator = RuntimeEstimator(self.graph, self.workload, self.cluster)
+        return self.estimator
 
     def run_search(self, service: Optional["PlanService"] = None) -> SearchResult:
         """Search for an efficient execution plan for this experiment.
@@ -141,7 +151,12 @@ class ExperimentConfig:
             )
             return response.result
         return search_execution_plan(
-            self.graph, self.workload, self.cluster, prune=self.prune, config=self.search
+            self.graph,
+            self.workload,
+            self.cluster,
+            prune=self.prune,
+            config=self.search,
+            estimator=self.get_estimator(),
         )
 
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..cluster.hardware import ClusterSpec
 from ..cluster.topology import DeviceMesh, enumerate_device_meshes
 from ..model.config import ModelConfig
-from ..model.memory import MemoryModel
+from ..model.memory import PARAM_BYTES, MemoryModel
 from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
 from .parallel import ParallelStrategy, enumerate_strategies
 from .plan import Allocation
@@ -122,14 +122,18 @@ def enumerate_allocations(
             if strategy.dp > wl.batch_size:
                 continue
             if prune.prune_static_oom:
-                param_bytes = config.param_count() / (strategy.tp * strategy.pp) * 2
+                param_bytes = config.param_count() / (strategy.tp * strategy.pp) * PARAM_BYTES
                 static = 0.0
                 if call.call_type is FunctionCallType.TRAIN_STEP:
                     static = memory.static_bytes_per_gpu(strategy.dp, strategy.tp, strategy.pp)
                 if param_bytes + static > cluster.device_memory_bytes:
                     continue
             for mbs in prune.microbatch_choices:
-                per_dp_batch = max(1, wl.batch_size // strategy.dp)
+                # Ceiling division: the runtime shards ceil(batch / dp)
+                # sequences onto each DP rank, so a micro-batch count up to
+                # that ceiling is admissible even when dp does not divide
+                # the batch size.
+                per_dp_batch = -(-wl.batch_size // strategy.dp)
                 if mbs > per_dp_batch:
                     continue
                 options.append(

@@ -6,6 +6,14 @@ Metropolis-Hastings algorithm.  It starts from a greedy plan that minimises
 the sum of per-call times (ignoring overlap and memory), proposes transitions
 that reassign the device mesh, parallel strategy and micro-batch count of a
 random function call, and keeps the lowest-cost plan ever visited.
+
+Proposals are scored through the estimator's incremental
+:meth:`~repro.core.estimator.RuntimeEstimator.cost_delta` path (a proposal
+changes exactly one call's allocation), and the wall-clock budget can be
+split across several independent Metropolis-Hastings chains
+(``SearchConfig.n_chains``): each chain starts from the same best initial
+candidate but explores with its own RNG stream, and the returned result is
+the best plan over all chains with their histories merged.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ class SearchConfig:
     (cost divided by the initial plan's cost), which keeps acceptance rates
     comparable across experiment scales.  The search stops after
     ``max_iterations`` proposals or ``time_budget_s`` wall-clock seconds,
-    whichever comes first.
+    whichever comes first; both budgets are shared evenly across
+    ``n_chains`` independent chains.
     """
 
     beta: float = 8.0
@@ -44,6 +53,10 @@ class SearchConfig:
     time_budget_s: float = 30.0
     seed: int = 0
     record_history: bool = True
+    n_chains: int = 1
+    """Number of independent Metropolis-Hastings chains.  Each chain uses its
+    own RNG stream and an even share of the iteration/time budget; the search
+    returns the best plan over all chains with merged history."""
     initial_plan: Optional[ExecutionPlan] = None
     """Optional warm-start hint: evaluated alongside the greedy plan and any
     seed plans, so the chain starts from the best available candidate.  The
@@ -65,6 +78,7 @@ class SearchResult:
     history: List[Tuple[int, float, float]] = field(default_factory=list)
     """``(iteration, elapsed_seconds, best_cost_so_far)`` samples."""
     search_space: float = 0.0
+    n_chains: int = 1
 
     @property
     def improvement_ratio(self) -> float:
@@ -104,6 +118,24 @@ class MCMCSearcher:
             raise ValueError(f"no allocation options for calls: {sorted(missing)}")
         self.seed_plans = list(seed_plans or [])
         self._rng = np.random.default_rng(config.seed)
+        # Per-call proposal indexes: options grouped by mesh, and the set of
+        # (mesh, strategy) layouts available, so proposing a move never scans
+        # the full option list comparing dataclasses.
+        self._options_by_mesh: Dict[str, Dict[Tuple, List[Allocation]]] = {}
+        self._layouts: Dict[str, set] = {}
+        for call_name, choices in self.options.items():
+            by_mesh: Dict[Tuple, List[Allocation]] = {}
+            layouts = set()
+            for alloc in choices:
+                mesh_key = self._mesh_key(alloc.mesh)
+                by_mesh.setdefault(mesh_key, []).append(alloc)
+                layouts.add(mesh_key + (alloc.parallel.dp, alloc.parallel.tp, alloc.parallel.pp))
+            self._options_by_mesh[call_name] = by_mesh
+            self._layouts[call_name] = layouts
+
+    @staticmethod
+    def _mesh_key(mesh) -> Tuple:
+        return (mesh.node_start, mesh.n_nodes, mesh.gpu_start, mesh.gpus_per_node)
 
     # ------------------------------------------------------------------ #
     # Initialisation
@@ -125,8 +157,10 @@ class MCMCSearcher:
     # ------------------------------------------------------------------ #
     # MCMC
     # ------------------------------------------------------------------ #
-    def _propose(self, plan: ExecutionPlan) -> ExecutionPlan:
-        """Propose a neighbouring plan.
+    def _propose(
+        self, plan: ExecutionPlan, rng: np.random.Generator
+    ) -> Tuple[str, Allocation]:
+        """Propose a single-call move ``(call_name, new_allocation)``.
 
         Three move types are mixed: (a) reassign a random call to a random
         allocation option, (b) align a call with the allocation of another
@@ -134,74 +168,102 @@ class MCMCSearcher:
         (c) keep a call's mesh but change its strategy or micro-batch count.
         """
         call_names = self.graph.call_names
-        call_name = call_names[int(self._rng.integers(len(call_names)))]
+        call_name = call_names[int(rng.integers(len(call_names)))]
         choices = self.options[call_name]
-        roll = self._rng.random()
+        roll = rng.random()
         if roll < 0.2 and len(call_names) > 1:
             # Align with another call's allocation if it is a valid option here.
-            other = call_names[int(self._rng.integers(len(call_names)))]
+            other = call_names[int(rng.integers(len(call_names)))]
             if other != call_name:
                 other_alloc = plan[other]
-                if any(
-                    c.mesh == other_alloc.mesh and c.parallel == other_alloc.parallel
-                    for c in choices
-                ):
-                    return plan.with_assignment(call_name, other_alloc)
+                parallel = other_alloc.parallel
+                layout = self._mesh_key(other_alloc.mesh) + (
+                    parallel.dp,
+                    parallel.tp,
+                    parallel.pp,
+                )
+                if layout in self._layouts[call_name]:
+                    return call_name, other_alloc
         elif roll < 0.45:
             # Same mesh, different strategy / micro-batch count.
             current = plan[call_name]
-            same_mesh = [c for c in choices if c.mesh == current.mesh]
+            same_mesh = self._options_by_mesh[call_name].get(self._mesh_key(current.mesh))
             if same_mesh:
-                new_alloc = same_mesh[int(self._rng.integers(len(same_mesh)))]
-                return plan.with_assignment(call_name, new_alloc)
-        new_alloc = choices[int(self._rng.integers(len(choices)))]
-        return plan.with_assignment(call_name, new_alloc)
+                return call_name, same_mesh[int(rng.integers(len(same_mesh)))]
+        return call_name, choices[int(rng.integers(len(choices)))]
+
+    def _proposal_cost(
+        self, plan: ExecutionPlan, call_name: str, new_alloc: Allocation
+    ) -> float:
+        """Score a single-call move via the estimator's incremental path."""
+        cost_delta = getattr(self.estimator, "cost_delta", None)
+        if cost_delta is not None:
+            return cost_delta(plan, call_name, new_alloc, self.config.oom_penalty)
+        return self.estimator.cost(
+            plan.with_assignment(call_name, new_alloc), self.config.oom_penalty
+        )
 
     def search(self) -> SearchResult:
-        """Run the Metropolis-Hastings chain and return the best plan found.
+        """Run the Metropolis-Hastings chains and return the best plan found.
 
-        The chain starts from the greedy per-call-optimal plan; any seed plans
-        supplied at construction time (e.g. the Megatron heuristic) are also
-        evaluated, and the best of all starting candidates becomes the chain's
-        initial state.
+        Every chain starts from the best of the greedy per-call-optimal plan,
+        any seed plans supplied at construction time (e.g. the Megatron
+        heuristic) and ``config.initial_plan``; the reported ``initial_plan``/
+        ``initial_cost`` are that actual chain start, so the improvement ratio
+        reflects what the search itself achieved.
         """
         cfg = self.config
         start_time = time.perf_counter()
-        current = self.greedy_initial_plan()
-        current_cost = self.estimator.cost(current, cfg.oom_penalty)
-        initial_plan, initial_cost = current, current_cost
+        start_plan = self.greedy_initial_plan()
+        start_cost = self.estimator.cost(start_plan, cfg.oom_penalty)
         candidates = list(self.seed_plans)
         if cfg.initial_plan is not None:
             candidates.append(cfg.initial_plan)
         for seed_plan in candidates:
             seed_cost = self.estimator.cost(seed_plan, cfg.oom_penalty)
-            if seed_cost < current_cost:
-                current, current_cost = seed_plan, seed_cost
-        best_plan, best_cost = current, current_cost
+            if seed_cost < start_cost:
+                start_plan, start_cost = seed_plan, seed_cost
+        # Report the actual chain start (greedy, seed or warm-start hint —
+        # whichever won), not unconditionally the greedy plan.
+        initial_plan, initial_cost = start_plan, start_cost
+        best_plan, best_cost = start_plan, start_cost
+
+        n_chains = max(1, int(cfg.n_chains))
+        chain_budget = cfg.time_budget_s / n_chains
+        base_iters, extra_iters = divmod(cfg.max_iterations, n_chains)
 
         history: List[Tuple[int, float, float]] = []
         n_accepted = 0
         iteration = 0
-        while iteration < cfg.max_iterations:
-            elapsed = time.perf_counter() - start_time
-            if elapsed > cfg.time_budget_s:
-                break
-            iteration += 1
-            proposal = self._propose(current)
-            proposal_cost = self.estimator.cost(proposal, cfg.oom_penalty)
-            # Normalise the energy by the best cost found so far so the
-            # temperature stays meaningful across experiment scales and even
-            # when the initial plan is heavily OOM-penalised.
-            scale = max(best_cost, 1e-9)
-            delta = (proposal_cost - current_cost) / scale
-            accept = delta <= 0 or self._rng.random() < math.exp(-cfg.beta * delta)
-            if accept:
-                current, current_cost = proposal, proposal_cost
-                n_accepted += 1
-                if current_cost < best_cost:
-                    best_plan, best_cost = current, current_cost
-            if cfg.record_history:
-                history.append((iteration, time.perf_counter() - start_time, best_cost))
+        for chain in range(n_chains):
+            # Chain 0 keeps the searcher's own stream (bit-compatible with the
+            # single-chain search); further chains get independent streams.
+            rng = self._rng if chain == 0 else np.random.default_rng([cfg.seed, chain])
+            max_iterations = iteration + base_iters + (1 if chain < extra_iters else 0)
+            deadline = start_time + min(cfg.time_budget_s, (chain + 1) * chain_budget)
+            current, current_cost = start_plan, start_cost
+            while iteration < max_iterations:
+                if time.perf_counter() > deadline:
+                    break
+                iteration += 1
+                call_name, new_alloc = self._propose(current, rng)
+                proposal_cost = self._proposal_cost(current, call_name, new_alloc)
+                # Normalise the energy by the best cost found so far so the
+                # temperature stays meaningful across experiment scales and
+                # even when the initial plan is heavily OOM-penalised.
+                scale = max(best_cost, 1e-9)
+                delta = (proposal_cost - current_cost) / scale
+                accept = delta <= 0 or rng.random() < math.exp(-cfg.beta * delta)
+                if accept:
+                    current = current.with_assignment(call_name, new_alloc)
+                    current_cost = proposal_cost
+                    n_accepted += 1
+                    if current_cost < best_cost:
+                        best_plan, best_cost = current, current_cost
+                if cfg.record_history:
+                    history.append(
+                        (iteration, time.perf_counter() - start_time, best_cost)
+                    )
 
         return SearchResult(
             best_plan=ExecutionPlan(dict(best_plan.assignments), name="searched"),
@@ -213,6 +275,7 @@ class MCMCSearcher:
             elapsed_seconds=time.perf_counter() - start_time,
             history=history,
             search_space=search_space_size(self.options),
+            n_chains=n_chains,
         )
 
 

@@ -82,6 +82,7 @@ def _search_dict(search: SearchConfig) -> Dict[str, Any]:
         "max_iterations": search.max_iterations,
         "time_budget_s": search.time_budget_s,
         "seed": search.seed,
+        "n_chains": search.n_chains,
     }
 
 
@@ -134,6 +135,11 @@ class WorkloadFingerprint:
     key: str
     family: str
     features: Mapping[str, float] = field(default_factory=dict)
+    estimator_key: str = ""
+    """Identity of the (graph, workload, cluster) triple only.  Requests that
+    share it pose different search problems but identical estimation
+    problems, so they can share one memoised
+    :class:`~repro.core.estimator.RuntimeEstimator`."""
 
     @property
     def short_key(self) -> str:
@@ -167,8 +173,14 @@ def fingerprint_request(
         "n_nodes": float(cluster.n_nodes),
         "n_gpus": float(cluster.n_gpus),
     }
+    estimator_document = {
+        "graph": canonical["graph"],
+        "workload": canonical["workload"],
+        "cluster": canonical["cluster"],
+    }
     return WorkloadFingerprint(
         key=_digest(canonical),
         family=_digest(family_document),
         features=features,
+        estimator_key=_digest(estimator_document),
     )

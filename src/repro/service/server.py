@@ -25,12 +25,14 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..cluster.hardware import ClusterSpec
 from ..core.dataflow import DataflowGraph
+from ..core.estimator import RuntimeEstimator
 from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig, allocation_options
 from ..core.search import MCMCSearcher, SearchConfig, SearchResult
@@ -97,6 +99,7 @@ class ServiceStats:
     cache_misses: int = 0
     warm_starts: int = 0
     dedup_joins: int = 0
+    estimator_reuses: int = 0
     search_seconds: float = 0.0
 
     @property
@@ -122,6 +125,14 @@ class PlanService:
     warm_start:
         Whether cache misses are seeded from the most similar cached plan of
         the same fingerprint family.
+    estimator_cache_size:
+        How many :class:`~repro.core.estimator.RuntimeEstimator` instances to
+        keep (LRU, keyed by the graph/workload/cluster identity).  Requests
+        that pose the same estimation problem — including deduplicated and
+        differently-budgeted searches over one workload — share a single
+        estimator, so its memoised per-call and per-edge costs amortise
+        across requests.  Estimator caches are GIL-safe for concurrent
+        searches (racing writes store identical values).
 
     The service is a context manager; :meth:`shutdown` drains the pool.
     """
@@ -133,9 +144,14 @@ class PlanService:
         cache_capacity: int = 128,
         persist_path: Optional[str] = None,
         warm_start: bool = True,
+        estimator_cache_size: int = 8,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if estimator_cache_size < 1:
+            raise ValueError(
+                f"estimator_cache_size must be >= 1, got {estimator_cache_size}"
+            )
         self.cache = cache if cache is not None else PlanCache(
             capacity=cache_capacity, persist_path=persist_path
         )
@@ -145,6 +161,8 @@ class PlanService:
             max_workers=max_workers, thread_name_prefix="plan-service"
         )
         self._inflight: Dict[str, "Future[PlanResponse]"] = {}
+        self._estimators: "OrderedDict[str, RuntimeEstimator]" = OrderedDict()
+        self._estimator_cache_size = estimator_cache_size
         self._lock = threading.RLock()
         self._closed = False
 
@@ -204,6 +222,33 @@ class PlanService:
     def _clear_inflight(self, key: str) -> None:
         with self._lock:
             self._inflight.pop(key, None)
+
+    def _estimator_for(
+        self, request: PlanRequest, fingerprint: WorkloadFingerprint
+    ) -> RuntimeEstimator:
+        """One shared fast-path estimator per (graph, workload, cluster).
+
+        Searches that pose the same estimation problem (identical or
+        differently-budgeted requests over one workload) reuse the memoised
+        per-call and per-edge costs instead of re-deriving them from scratch.
+        """
+        key = fingerprint.estimator_key
+        with self._lock:
+            estimator = self._estimators.get(key)
+            if estimator is not None:
+                self._estimators.move_to_end(key)
+                self.stats.estimator_reuses += 1
+                return estimator
+        estimator = RuntimeEstimator(request.graph, request.workload, request.cluster)
+        with self._lock:
+            existing = self._estimators.get(key)
+            if existing is not None:
+                self.stats.estimator_reuses += 1
+                return existing
+            self._estimators[key] = estimator
+            while len(self._estimators) > self._estimator_cache_size:
+                self._estimators.popitem(last=False)
+        return estimator
 
     @staticmethod
     def _join_inflight(
@@ -274,6 +319,7 @@ class PlanService:
             graph=request.graph,
             workload=request.workload,
             cluster=request.cluster,
+            estimator=self._estimator_for(request, fingerprint),
             options=options,
             prune=request.prune,
             config=request.search,

@@ -95,6 +95,36 @@ class TestPruning:
         changed = base.restrict(mesh_stride=3)
         assert changed.mesh_stride == 3 and base.mesh_stride == 1
 
+    def test_static_oom_prune_uses_param_bytes_constant(self, ppo_graph, monkeypatch):
+        # The prune must read the memory model's PARAM_BYTES, not a hardcoded
+        # bytes-per-param: blowing the constant up must prune everything away.
+        import repro.core.pruning as pruning_module
+
+        cluster = make_cluster(8)
+        workload = instructgpt_workload("7b", "7b", batch_size=64)
+        call = ppo_graph.get("actor_generate")
+        assert enumerate_allocations(
+            call, workload.model_config("actor"), workload, cluster
+        )
+        monkeypatch.setattr(pruning_module, "PARAM_BYTES", 1e12)
+        with pytest.raises(ValueError, match="no feasible allocation"):
+            enumerate_allocations(
+                call, workload.model_config("actor"), workload, cluster
+            )
+
+    def test_microbatch_ceiling_on_nondivisible_batch(self, ppo_graph, cluster8):
+        # batch 26 over dp=8 shards ceil(26/8) = 4 sequences per rank, so 4
+        # micro-batches are admissible; floor division would wrongly stop at 3.
+        workload = instructgpt_workload("7b", "7b", batch_size=26)
+        options = enumerate_allocations(
+            ppo_graph.get("actor_generate"), workload.model_config("actor"),
+            workload, cluster8,
+        )
+        dp8 = [a for a in options if a.parallel.dp == 8]
+        assert dp8, "expected dp=8 options on the 8-GPU cluster"
+        assert any(a.n_microbatches == 4 for a in dp8)
+        assert all(a.n_microbatches <= 4 for a in dp8)
+
 
 class TestMCMCSearch:
     def test_search_improves_over_greedy(self, ppo_graph, workload_small, cluster8):
@@ -144,6 +174,88 @@ class TestMCMCSearch:
         config = SearchConfig(max_iterations=10_000_000, time_budget_s=1.0, seed=0)
         result = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config).search()
         assert result.elapsed_seconds < 5.0
+
+    def test_seeded_search_reports_chain_start_cost(
+        self, ppo_graph, workload_small, cluster8
+    ):
+        # Regression: a winning seed plan must be reported as the initial
+        # plan, otherwise improvement_ratio overstates what the search did.
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        good = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=SearchConfig(max_iterations=300, time_budget_s=20, seed=6),
+        ).search().best_plan
+        good_cost = estimator.cost(good)
+        greedy_cost = estimator.cost(
+            MCMCSearcher(
+                ppo_graph, workload_small, cluster8, estimator=estimator
+            ).greedy_initial_plan()
+        )
+        assert good_cost < greedy_cost
+        result = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=SearchConfig(max_iterations=0, time_budget_s=20, seed=7),
+            seed_plans=[good],
+        ).search()
+        assert result.initial_cost == pytest.approx(good_cost)
+        assert result.improvement_ratio == pytest.approx(1.0)
+
+    def test_config_initial_plan_reported_as_start(
+        self, ppo_graph, workload_small, cluster8
+    ):
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        good = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=SearchConfig(max_iterations=300, time_budget_s=20, seed=8),
+        ).search().best_plan
+        result = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=SearchConfig(
+                max_iterations=0, time_budget_s=20, seed=9, initial_plan=good
+            ),
+        ).search()
+        assert result.initial_cost == pytest.approx(estimator.cost(good))
+
+
+class TestMultiChainSearch:
+    def test_multi_chain_result_and_budget_split(
+        self, ppo_graph, workload_small, cluster8
+    ):
+        config = SearchConfig(max_iterations=300, time_budget_s=30, seed=1, n_chains=3)
+        result = MCMCSearcher(ppo_graph, workload_small, cluster8, config=config).search()
+        assert result.n_chains == 3
+        assert result.best_cost <= result.initial_cost
+        assert 0 < result.n_iterations <= 300
+        # Merged history: global iteration count, monotone best-so-far.
+        iterations = [i for i, _, _ in result.history]
+        assert iterations == sorted(iterations)
+        best_values = [cost for _, _, cost in result.history]
+        assert all(b <= a + 1e-12 for a, b in zip(best_values[:-1], best_values[1:]))
+
+    def test_multi_chain_deterministic_for_fixed_seed(
+        self, ppo_graph, workload_small, cluster8
+    ):
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        options = allocation_options(ppo_graph, workload_small, cluster8)
+        config = SearchConfig(max_iterations=200, time_budget_s=30, seed=5, n_chains=4)
+        r1 = MCMCSearcher(ppo_graph, workload_small, cluster8, estimator=estimator,
+                          options=options, config=config).search()
+        r2 = MCMCSearcher(ppo_graph, workload_small, cluster8, estimator=estimator,
+                          options=options, config=config).search()
+        assert r1.best_cost == pytest.approx(r2.best_cost)
+        assert r1.n_iterations == r2.n_iterations
+
+    def test_multi_chain_not_worse_than_start(self, ppo_graph, workload_small, cluster8):
+        estimator = RuntimeEstimator(ppo_graph, workload_small, cluster8)
+        seed_plan = symmetric_plan(
+            ppo_graph, cluster8, ParallelStrategy(1, 8, 1), n_microbatches=8
+        )
+        config = SearchConfig(max_iterations=150, time_budget_s=10, seed=3, n_chains=2)
+        result = MCMCSearcher(
+            ppo_graph, workload_small, cluster8, estimator=estimator,
+            config=config, seed_plans=[seed_plan],
+        ).search()
+        assert result.best_cost <= estimator.cost(seed_plan) + 1e-9
 
 
 class TestBruteForce:

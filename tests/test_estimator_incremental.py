@@ -1,0 +1,215 @@
+"""Tests for the fast-path estimator: memoisation, ``cost_delta`` and chains.
+
+The incremental path must be *bit-for-bit* identical to a full recompute:
+the memo caches store values of pure functions, and a single-call move only
+replaces the components that move can affect.  The property-style suite
+below walks randomized move sequences over the tier-1 fixture graphs and
+cross-checks every step against a cache-free estimator.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.algorithms import build_grpo_graph, build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import (
+    Allocation,
+    DataflowGraph,
+    ExecutionPlan,
+    ParallelStrategy,
+    RuntimeEstimator,
+    allocation_options,
+    instructgpt_workload,
+    symmetric_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster16():
+    return make_cluster(16)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return instructgpt_workload("7b", "7b", batch_size=128)
+
+
+def _fixture(graph_builder, workload, cluster):
+    graph = graph_builder()
+    fast = RuntimeEstimator(graph, workload, cluster)
+    exact = RuntimeEstimator(graph, workload, cluster, use_cache=False)
+    options = allocation_options(graph, workload, cluster)
+    start = {name: choices[0] for name, choices in options.items()}
+    return graph, fast, exact, options, ExecutionPlan(start, name="start")
+
+
+@pytest.fixture(scope="module")
+def ppo_fixture(workload, cluster16):
+    return _fixture(build_ppo_graph, workload, cluster16)
+
+
+@pytest.fixture(scope="module")
+def grpo_fixture(workload, cluster16):
+    return _fixture(build_grpo_graph, workload, cluster16)
+
+
+class TestFastPathConsistency:
+    def test_cost_matches_uncached_estimator(self, ppo_fixture):
+        graph, fast, exact, options, plan = ppo_fixture
+        assert fast.cost(plan) == exact.cost(plan)
+        # Second evaluation is served from caches and must not drift.
+        assert fast.cost(plan) == exact.cost(plan)
+
+    def test_time_cost_and_memory_match(self, ppo_fixture):
+        graph, fast, exact, options, plan = ppo_fixture
+        fast_tc, exact_tc = fast.time_cost(plan), exact.time_cost(plan)
+        assert fast_tc.total_seconds == exact_tc.total_seconds
+        assert fast_tc.spans == exact_tc.spans
+        assert fast_tc.call_seconds == exact_tc.call_seconds
+        assert fast.max_memory(plan).per_gpu == exact.max_memory(plan).per_gpu
+
+    def test_cost_delta_equals_full_cost_of_moved_plan(self, ppo_fixture):
+        graph, fast, exact, options, plan = ppo_fixture
+        call_name = graph.call_names[0]
+        for alloc in options[call_name][:10]:
+            moved = plan.with_assignment(call_name, alloc)
+            assert fast.cost_delta(plan, call_name, alloc) == exact.cost(moved)
+
+    def test_cost_delta_falls_back_without_cache(self, ppo_fixture):
+        graph, fast, exact, options, plan = ppo_fixture
+        call_name = graph.call_names[0]
+        alloc = options[call_name][1]
+        expected = exact.cost(plan.with_assignment(call_name, alloc))
+        assert exact.cost_delta(plan, call_name, alloc) == expected
+
+    def test_call_breakdown_returns_defensive_copy(self, ppo_fixture):
+        graph, fast, exact, options, plan = ppo_fixture
+        call_name = graph.call_names[0]
+        alloc = plan[call_name]
+        before = fast.call_breakdown(call_name, alloc).total
+        fast.call_breakdown(call_name, alloc).compute += 123.0
+        assert fast.call_breakdown(call_name, alloc).total == before
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_move_sequences_ppo(self, ppo_fixture, seed):
+        self._random_walk(ppo_fixture, seed)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_move_sequences_grpo(self, grpo_fixture, seed):
+        self._random_walk(grpo_fixture, seed)
+
+    @staticmethod
+    def _random_walk(fixture, seed, n_moves=12):
+        graph, fast, exact, options, plan = fixture
+        rng = np.random.default_rng(seed)
+        names = graph.call_names
+        current = plan
+        for _ in range(n_moves):
+            call_name = names[int(rng.integers(len(names)))]
+            choices = options[call_name]
+            alloc = choices[int(rng.integers(len(choices)))]
+            fast_cost = fast.cost_delta(current, call_name, alloc)
+            moved = current.with_assignment(call_name, alloc)
+            assert fast_cost == exact.cost(moved)
+            assert fast.cost(moved) == fast_cost
+            if rng.random() < 0.5:  # mix accepted and rejected moves
+                current = moved
+
+
+class TestCrossCheckMode:
+    def test_cross_check_passes_on_consistent_estimator(self, workload, cluster16):
+        graph = build_ppo_graph()
+        estimator = RuntimeEstimator(graph, workload, cluster16, cross_check=True)
+        options = allocation_options(graph, workload, cluster16)
+        plan = ExecutionPlan({n: c[0] for n, c in options.items()})
+        estimator.cost(plan)
+        rng = np.random.default_rng(0)
+        names = graph.call_names
+        for _ in range(10):
+            call_name = names[int(rng.integers(len(names)))]
+            choices = options[call_name]
+            estimator.cost_delta(plan, call_name, choices[int(rng.integers(len(choices)))])
+
+    def test_cross_check_detects_poisoned_cache(self, workload, cluster16):
+        graph = build_ppo_graph()
+        estimator = RuntimeEstimator(graph, workload, cluster16, cross_check=True)
+        options = allocation_options(graph, workload, cluster16)
+        plan = ExecutionPlan({n: c[0] for n, c in options.items()})
+        estimator.cost(plan)
+        # Corrupt a memoised call time: the fast path now disagrees with the
+        # full recompute and the cross-check must catch it.
+        key = next(iter(estimator._call_time_cache))
+        estimator._call_time_cache[key] += 1.0
+        estimator._states.clear()
+        estimator._eval_cache.clear()
+        with pytest.raises(RuntimeError, match="cross-check"):
+            estimator.cost(plan)
+
+
+class TestEmptyGraph:
+    def test_empty_graph_time_cost_is_zero(self, workload, cluster16):
+        graph = DataflowGraph(calls=[], external_inputs=("prompts",), name="empty")
+        estimator = RuntimeEstimator(graph, workload, cluster16)
+        plan = ExecutionPlan({}, name="empty")
+        result = estimator.time_cost(plan)
+        assert result.total_seconds == 0.0
+        assert result.spans == {}
+        assert result.realloc_seconds == 0.0
+        assert estimator.cost(plan) == 0.0
+        assert estimator.is_feasible(plan)
+
+
+class TestConcurrentSharing:
+    def test_shared_estimator_survives_threaded_cost_delta(self, workload, cluster16):
+        # The plan service hands one estimator to several worker threads;
+        # the plan-state LRU must tolerate concurrent churn (get / evict
+        # races previously raised KeyError from move_to_end).
+        import threading
+
+        graph = build_ppo_graph()
+        estimator = RuntimeEstimator(graph, workload, cluster16)
+        options = allocation_options(graph, workload, cluster16)
+        plan = ExecutionPlan({n: c[0] for n, c in options.items()})
+        names = graph.call_names
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            current = plan
+            try:
+                for _ in range(1500):
+                    call_name = names[int(rng.integers(len(names)))]
+                    choices = options[call_name]
+                    alloc = choices[int(rng.integers(len(choices)))]
+                    estimator.cost_delta(current, call_name, alloc)
+                    current = current.with_assignment(call_name, alloc)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"concurrent cost_delta failed: {errors[:3]}"
+
+
+class TestEstimatorSharing:
+    def test_experiment_config_reuses_estimator(self, workload, cluster16):
+        from repro.core.api import ExperimentConfig
+        from repro.core import SearchConfig
+
+        config = ExperimentConfig(
+            graph=build_ppo_graph(),
+            workload=workload,
+            cluster=cluster16,
+            search=SearchConfig(max_iterations=5, time_budget_s=5.0),
+        )
+        first = config.get_estimator()
+        config.run_search()
+        assert config.get_estimator() is first

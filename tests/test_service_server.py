@@ -213,3 +213,28 @@ class TestClientAndRouting:
         # With a zero budget the result is the best starting candidate, so
         # the hint can only improve (here: strictly, greedy plans OOM).
         assert hinted.best_cost <= cold.best_cost
+
+
+class TestEstimatorSharing:
+    def test_same_workload_different_budget_shares_estimator(self, service):
+        # Different search seeds -> different fingerprints (both are cold
+        # searches) but the same estimation problem -> one shared estimator.
+        first = _request(max_iterations=50, seed=0)
+        second = _request(max_iterations=50, seed=1)
+        assert first.fingerprint().key != second.fingerprint().key
+        assert first.fingerprint().estimator_key == second.fingerprint().estimator_key
+        service.plan(first)
+        assert service.stats.estimator_reuses == 0
+        service.plan(second)
+        assert service.stats.estimator_reuses == 1
+        assert len(service._estimators) == 1
+
+    def test_different_workloads_use_distinct_estimators(self, service):
+        service.plan(_request(batch_size=128, max_iterations=50))
+        service.plan(_request(batch_size=256, max_iterations=50))
+        assert service.stats.estimator_reuses == 0
+        assert len(service._estimators) == 2
+
+    def test_estimator_cache_size_validation(self):
+        with pytest.raises(ValueError):
+            PlanService(estimator_cache_size=0)
