@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from conftest import bench_scale, run_once
 
 from repro.algorithms import build_ppo_graph
@@ -60,7 +62,7 @@ def run_service_throughput():
         elapsed = time.perf_counter() - start
         stats = service.stats.snapshot()
     finally:
-        service.shutdown()
+        service.close()
     stream = wave + wave
 
     cold = [r.stats.total_seconds for r in responses
@@ -85,6 +87,11 @@ def test_service_throughput(benchmark):
     row, stats, responses, avg_cold, avg_hit = run_once(benchmark, run_service_throughput)
     print()
     print(format_table([row], title="Plan service: mixed request stream"))
+    # Machine-readable aggregate counters (e.g. for dashboards/CI scraping).
+    stats_dict = stats.to_dict()
+    print(f"service stats: {stats_dict}")
+    assert stats_dict["requests"] == len(responses)
+    assert stats_dict["hit_rate"] == pytest.approx(stats.hit_rate)
     # Every request was answered with the same plan as its duplicates.
     by_fingerprint = {}
     for response in responses:

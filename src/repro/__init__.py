@@ -15,6 +15,8 @@ The package is organised by subsystem:
 * :mod:`repro.service` — planner-as-a-service: workload fingerprinting, an
   LRU plan cache with disk persistence, warm-started searches and a
   concurrent deduplicating plan server.
+* :mod:`repro.sched` — multi-job cluster scheduler: elastic, plan-service-
+  driven scheduling of concurrent RLHF jobs over one shared cluster.
 * :mod:`repro.experiments` — settings, metrics and runners for every figure.
 * :mod:`repro.rlhf` — a tiny functional NumPy transformer and end-to-end
   PPO/DPO/GRPO/ReMax training loops.
@@ -30,6 +32,7 @@ from . import (
     realloc,
     rlhf,
     runtime,
+    sched,
     service,
 )
 from .cluster import ClusterSpec, DeviceMesh, make_cluster
@@ -47,6 +50,7 @@ from .core import (
     search_execution_plan,
 )
 from .runtime import RuntimeEngine
+from .sched import ClusterScheduler, JobSpec, NodeFailure, ScheduleReport, schedule_trace
 from .service import PlanClient, PlanRequest, PlanService
 
 __version__ = "1.1.0"
@@ -62,6 +66,7 @@ __all__ = [
     "baselines",
     "experiments",
     "rlhf",
+    "sched",
     "service",
     "ClusterSpec",
     "DeviceMesh",
@@ -81,4 +86,9 @@ __all__ = [
     "PlanService",
     "PlanClient",
     "PlanRequest",
+    "JobSpec",
+    "NodeFailure",
+    "ClusterScheduler",
+    "ScheduleReport",
+    "schedule_trace",
 ]

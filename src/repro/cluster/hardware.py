@@ -11,12 +11,21 @@ seconds.  The numbers below are public H100-SXM5 specifications de-rated by an
 achievable-efficiency factor, so that the *relative* costs of compute-bound
 and memory-bound phases (training forward/backward vs. auto-regressive
 decoding) match the behaviour the paper reports.
+
+Clusters can be *carved*: :meth:`ClusterSpec.sub_cluster` returns a smaller
+cluster of the same hardware covering ``n_nodes`` whole hosts (or an aligned
+slice of a single host), mirroring the device-mesh validity rules of
+:mod:`repro.cluster.topology`.  The multi-job scheduler
+(:mod:`repro.sched`) uses it to hand each admitted job a mesh-shaped
+partition of the shared cluster that the planner can treat as a dedicated
+cluster.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "GPUSpec",
@@ -208,6 +217,42 @@ class ClusterSpec:
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         """Return a copy of this spec with a different node count."""
         return dataclasses.replace(self, n_nodes=n_nodes)
+
+    def sub_cluster(
+        self, n_nodes: int, n_gpus_per_node: Optional[int] = None
+    ) -> "ClusterSpec":
+        """Carve a mesh-shaped sub-cluster out of this cluster.
+
+        The sub-cluster keeps the GPU, interconnect and RPC-overhead specs and
+        follows the same validity rules as device meshes (Section 4 of the
+        paper): it either spans ``n_nodes`` *entire* hosts
+        (``n_gpus_per_node == gpus_per_node``), or an aligned slice of a
+        single host whose width divides ``gpus_per_node``.  The returned spec
+        is indistinguishable from a dedicated cluster of that shape, which is
+        what lets the multi-job scheduler (:mod:`repro.sched`) plan each
+        job's partition through the unmodified planner and share plan-cache
+        entries between same-shaped partitions.
+        """
+        width = self.gpus_per_node if n_gpus_per_node is None else n_gpus_per_node
+        if not (1 <= n_nodes <= self.n_nodes):
+            raise ValueError(
+                f"sub-cluster n_nodes must be in [1, {self.n_nodes}], got {n_nodes}"
+            )
+        if not (1 <= width <= self.gpus_per_node):
+            raise ValueError(
+                f"sub-cluster width must be in [1, {self.gpus_per_node}], got {width}"
+            )
+        if n_nodes > 1 and width != self.gpus_per_node:
+            raise ValueError(
+                "multi-node sub-clusters must span entire hosts "
+                f"(width {width} != {self.gpus_per_node} gpus per node)"
+            )
+        if self.gpus_per_node % width != 0:
+            raise ValueError(
+                f"sub-node width {width} must divide gpus_per_node "
+                f"({self.gpus_per_node})"
+            )
+        return dataclasses.replace(self, n_nodes=n_nodes, gpus_per_node=width)
 
 
 def make_cluster(

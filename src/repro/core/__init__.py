@@ -9,6 +9,7 @@ from .api import (
     auto,
     build_graph_from_defs,
     find_execution_plan,
+    schedule_jobs,
 )
 from .brute_force import BruteForceResult, brute_force_search
 from .call_cost import CallCostModel, CostBreakdown
@@ -97,4 +98,5 @@ __all__ = [
     "auto",
     "build_graph_from_defs",
     "find_execution_plan",
+    "schedule_jobs",
 ]

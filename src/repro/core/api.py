@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..sched.metrics import ScheduleReport
+    from ..sched.scheduler import NodeFailure, SchedulerConfig
     from ..service.server import PlanService
 
 from ..cluster.hardware import ClusterSpec, make_cluster
@@ -33,6 +35,7 @@ __all__ = [
     "auto",
     "build_graph_from_defs",
     "find_execution_plan",
+    "schedule_jobs",
 ]
 
 # Aliases matching the paper's API surface.
@@ -232,3 +235,36 @@ def find_execution_plan(
     )
     result = experiment.run_search(service=service)
     return result, experiment
+
+
+def schedule_jobs(
+    jobs: Sequence["object"],
+    n_gpus: int,
+    gpus_per_node: int = 8,
+    policy: str = "best_throughput",
+    config: Optional["SchedulerConfig"] = None,
+    service: Optional["PlanService"] = None,
+    failures: Sequence["NodeFailure"] = (),
+) -> "ScheduleReport":
+    """One-call entry point of the multi-job cluster scheduler.
+
+    ``jobs`` is a sequence of :class:`~repro.sched.job.JobSpec` objects; the
+    shared cluster is assembled like :func:`find_execution_plan` does, the
+    jobs are scheduled under the named policy (``first_fit``,
+    ``best_throughput``, ``priority`` or ``static_equal``) and the schedule
+    report (per-job queue waits, makespan, aggregate iterations/sec, GPU
+    utilization) is returned.  Passing a
+    :class:`~repro.service.server.PlanService` shares the plan cache with
+    other callers; otherwise the scheduler owns (and closes) a private one.
+    """
+    from ..sched.scheduler import schedule_trace  # local import avoids a cycle
+
+    cluster = make_cluster(n_gpus, gpus_per_node=gpus_per_node)
+    return schedule_trace(
+        cluster=cluster,
+        jobs=jobs,
+        policy=policy,
+        config=config,
+        service=service,
+        failures=failures,
+    )

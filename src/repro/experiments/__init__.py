@@ -14,6 +14,7 @@ from .runner import (
     evaluate_setting,
     run_comparison,
     run_heuristic_comparison,
+    run_scheduler_comparison,
 )
 from .settings import (
     ExperimentSetting,
@@ -43,6 +44,7 @@ __all__ = [
     "evaluate_setting",
     "run_comparison",
     "run_heuristic_comparison",
+    "run_scheduler_comparison",
     "OptimizationLevel",
     "progressive_optimization",
     "figure2_opportunity",

@@ -33,6 +33,7 @@ __all__ = [
     "evaluate_setting",
     "run_comparison",
     "run_heuristic_comparison",
+    "run_scheduler_comparison",
 ]
 
 #: Environment variable scaling the MCMC search budget in benchmarks (1.0 = default).
@@ -162,3 +163,38 @@ def run_heuristic_comparison(
         RealSystem(search_config=default_search_config(seed)),
     ]
     return run_comparison(settings, systems, plan_service=plan_service)
+
+
+def run_scheduler_comparison(
+    cluster,
+    jobs,
+    policies: Sequence[object] = ("first_fit", "best_throughput", "priority"),
+    config=None,
+    plan_service: Optional[PlanService] = None,
+    failures: Sequence[object] = (),
+):
+    """Run one job trace under several scheduling policies.
+
+    ``policies`` mixes policy names and instances (e.g. a configured
+    :class:`~repro.sched.policies.StaticEqualPolicy` baseline).  When
+    ``plan_service`` is given all runs share one plan cache, so policies
+    after the first mostly re-score cached (job, shape) candidates — the
+    comparison then measures scheduling quality, not repeated search cost.
+    Returns one :class:`~repro.sched.metrics.ScheduleReport` per policy, in
+    order.
+    """
+    from ..sched.scheduler import schedule_trace  # local import avoids a cycle
+
+    reports = []
+    for policy in policies:
+        reports.append(
+            schedule_trace(
+                cluster=cluster,
+                jobs=jobs,
+                policy=policy,
+                config=config,
+                service=plan_service,
+                failures=failures,
+            )
+        )
+    return reports

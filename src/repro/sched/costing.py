@@ -1,0 +1,171 @@
+"""Scoring (job, partition) candidates through the plan service.
+
+Every scheduling decision — admission, packing, preemption recovery, elastic
+resize — reduces to the same question: *how fast would this job run on that
+partition?*  The answer comes from the existing
+:class:`~repro.service.server.PlanService`: a candidate is a full planning
+request over the partition's carved :class:`ClusterSpec`, so
+
+* same-shaped partitions share the service's exact-key cache (scoring a
+  hundred located candidates costs a handful of searches),
+* displaced jobs are re-planned with warm starts from their own previously
+  cached plans (same fingerprint family), and
+* batches of candidates overlap on the service's worker pool.
+
+The costing layer also keeps the request-statistics ledger the scheduler
+report is built from: cold searches vs. warm-started/cached replans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.plan import ExecutionPlan
+from ..core.pruning import PruneConfig
+from ..core.search import SearchConfig
+from ..service.server import PlanRequest, PlanService, RequestStats
+from .job import Job
+from .metrics import SearchTimeStats
+from .partition import Partition
+
+__all__ = ["Candidate", "PlanCosting"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scored (job, partition) placement option."""
+
+    job: Job
+    partition: Partition
+    plan: Optional[ExecutionPlan]
+    seconds_per_iteration: float
+    feasible: bool
+    stats: Optional[RequestStats] = None
+
+    @property
+    def iterations_per_second(self) -> float:
+        if not self.feasible or self.seconds_per_iteration <= 0:
+            return 0.0
+        return 1.0 / self.seconds_per_iteration
+
+    @property
+    def throughput_density(self) -> float:
+        """Iterations/sec per GPU — the packing score of a candidate."""
+        return self.iterations_per_second / max(1, self.partition.n_gpus)
+
+
+class PlanCosting:
+    """Plan-service front end of the scheduler, with a stats ledger."""
+
+    def __init__(
+        self,
+        service: PlanService,
+        search: SearchConfig,
+        replan_search: SearchConfig,
+        prune: PruneConfig = PruneConfig(),
+    ) -> None:
+        self.service = service
+        self.search = search
+        self.replan_search = replan_search
+        self.prune = prune
+        self.candidates_scored = 0
+        self._cold: List[RequestStats] = []
+        self._replan: List[RequestStats] = []
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def _request(self, job: Job, partition: Partition) -> PlanRequest:
+        # Jobs that ran before are replans: they get the (smaller) warm-start
+        # budget, since the service seeds their search from the job's own
+        # previously cached plans of the same fingerprint family.
+        search = self.replan_search if self._is_replan(job) else self.search
+        return PlanRequest(
+            graph=job.graph,
+            workload=job.workload,
+            cluster=partition.spec,
+            search=search,
+            prune=self.prune,
+        )
+
+    @staticmethod
+    def _is_replan(job: Job) -> bool:
+        return job.first_started_at is not None
+
+    def score(self, pairs: Sequence[Tuple[Job, Partition]]) -> List[Candidate]:
+        """Score candidates concurrently; infeasible/failed ones stay in place.
+
+        All requests are submitted before the first result is awaited, so
+        novel shapes search in parallel on the service pool while repeated
+        shapes collapse onto cache hits or in-flight searches.
+        """
+        futures = [
+            self.service.submit(self._request(job, partition))
+            for job, partition in pairs
+        ]
+        out: List[Candidate] = []
+        for (job, partition), future in zip(pairs, futures):
+            self.candidates_scored += 1
+            try:
+                response = future.result()
+            except ValueError:
+                # No admissible allocation for some call on this partition
+                # (e.g. the model cannot fit at any parallelization) — the
+                # candidate is simply infeasible, not an error.
+                out.append(
+                    Candidate(
+                        job=job,
+                        partition=partition,
+                        plan=None,
+                        seconds_per_iteration=float("inf"),
+                        feasible=False,
+                    )
+                )
+                continue
+            self._record(job, response.stats)
+            out.append(
+                Candidate(
+                    job=job,
+                    partition=partition,
+                    plan=response.plan,
+                    seconds_per_iteration=response.cost,
+                    feasible=response.feasible and response.cost > 0,
+                    stats=response.stats,
+                )
+            )
+        return out
+
+    def score_one(self, job: Job, partitions: Sequence[Partition]) -> List[Candidate]:
+        """Score one job against several partitions."""
+        return self.score([(job, partition) for partition in partitions])
+
+    # ------------------------------------------------------------------ #
+    # Ledger
+    # ------------------------------------------------------------------ #
+    def _record(self, job: Job, stats: RequestStats) -> None:
+        # Dedup joins carry a *copy* of the primary search's timings; counting
+        # them would bill the same search seconds twice, so both ledgers skip
+        # them.
+        if stats.dedup_joined:
+            return
+        if self._is_replan(job):
+            self._replan.append(stats)
+        elif not (stats.cache_hit or stats.warm_started):
+            self._cold.append(stats)
+
+    @property
+    def cold_stats(self) -> SearchTimeStats:
+        """Search time spent on cold (uncached, unseeded) placements."""
+        return SearchTimeStats(
+            count=len(self._cold),
+            total_seconds=sum(s.search_seconds for s in self._cold),
+        )
+
+    @property
+    def replan_stats(self) -> SearchTimeStats:
+        """Search time spent re-planning displaced/resized jobs."""
+        return SearchTimeStats(
+            count=len(self._replan),
+            total_seconds=sum(s.search_seconds for s in self._replan),
+        )

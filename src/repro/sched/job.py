@@ -1,0 +1,162 @@
+"""Job descriptions and runtime records of the multi-job cluster scheduler.
+
+A :class:`JobSpec` is what a tenant submits: which RLHF algorithm and model
+sizes to train, the data shape, a priority, when the job arrives and how many
+RLHF iterations it must complete, plus an elastic GPU range
+(``min_gpus``/``max_gpus``) the scheduler may place it within.  A
+:class:`Job` is the scheduler's mutable runtime record of one submitted spec:
+its phase, current partition and plan, accumulated progress and the
+displacement counters (replans, preemptions, elastic resizes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+from ..core.dataflow import DataflowGraph
+from ..core.plan import ExecutionPlan
+from ..core.workload import RLHFWorkload, instructgpt_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from .partition import Partition
+
+__all__ = ["JobSpec", "JobPhase", "Job"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One RLHF training job submitted to the shared cluster.
+
+    ``min_gpus``/``max_gpus`` bound the mesh-shaped partitions the scheduler
+    may place the job on; ``max_gpus`` of ``None`` means the job can elasticly
+    grow to any partition the cluster offers.  ``target_iterations`` is the
+    number of RLHF iterations after which the job completes.
+    """
+
+    name: str
+    algorithm: str = "ppo"
+    actor_size: str = "7b"
+    critic_size: str = "7b"
+    batch_size: int = 256
+    prompt_len: int = 1024
+    gen_len: int = 1024
+    n_ppo_minibatches: int = 8
+    priority: int = 0
+    arrival_time: float = 0.0
+    target_iterations: int = 50
+    min_gpus: int = 8
+    max_gpus: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.target_iterations < 1:
+            raise ValueError("target_iterations must be >= 1")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if self.min_gpus < 1:
+            raise ValueError("min_gpus must be >= 1")
+        if self.max_gpus is not None and self.max_gpus < self.min_gpus:
+            raise ValueError(
+                f"max_gpus ({self.max_gpus}) must be >= min_gpus ({self.min_gpus})"
+            )
+
+    @property
+    def gpu_ceiling(self) -> float:
+        """Upper bound of the elastic GPU range (``inf`` when unbounded)."""
+        return float("inf") if self.max_gpus is None else float(self.max_gpus)
+
+    def build_graph(self) -> DataflowGraph:
+        """The job's RLHF dataflow graph (by registered algorithm name)."""
+        from ..algorithms.registry import build_graph  # local import avoids a cycle
+
+        return build_graph(self.algorithm)
+
+    def build_workload(self) -> RLHFWorkload:
+        """The job's workload (InstructGPT-style model roles)."""
+        return instructgpt_workload(
+            actor_size=self.actor_size,
+            critic_size=self.critic_size,
+            batch_size=self.batch_size,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            n_ppo_minibatches=self.n_ppo_minibatches,
+        )
+
+
+class JobPhase(Enum):
+    """Lifecycle phase of a scheduled job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    UNPLACEABLE = "unplaceable"
+    """No partition of the (idle) cluster can host the job without OOM."""
+
+
+_JOB_IDS = itertools.count()
+
+
+@dataclass
+class Job:
+    """Mutable runtime record of one submitted :class:`JobSpec`."""
+
+    spec: JobSpec
+    graph: DataflowGraph
+    workload: RLHFWorkload
+    phase: JobPhase = JobPhase.PENDING
+    partition: Optional["Partition"] = None
+    plan: Optional[ExecutionPlan] = None
+    seconds_per_iteration: float = float("inf")
+    iterations_done: float = 0.0
+    segment_started_at: Optional[float] = None
+    first_started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    generation: int = 0
+    """Bumped on every displacement; invalidates scheduled completion events."""
+    n_replans: int = 0
+    n_preemptions: int = 0
+    n_resizes: int = 0
+    gpu_seconds: float = 0.0
+    uid: int = field(default_factory=lambda: next(_JOB_IDS))
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec) -> "Job":
+        return cls(spec=spec, graph=spec.build_graph(), workload=spec.build_workload())
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def remaining_iterations(self) -> float:
+        """Iterations still to run (never negative)."""
+        return max(0.0, self.spec.target_iterations - self.iterations_done)
+
+    @property
+    def is_running(self) -> bool:
+        return self.phase is JobPhase.RUNNING
+
+    @property
+    def throughput(self) -> float:
+        """Current iterations/sec (0 when not running)."""
+        if not self.is_running or self.seconds_per_iteration <= 0:
+            return 0.0
+        return 1.0 / self.seconds_per_iteration
+
+    def accrue(self, now: float) -> None:
+        """Bank the progress of the current running segment up to ``now``."""
+        if self.segment_started_at is None:
+            return
+        elapsed = max(0.0, now - self.segment_started_at)
+        if self.seconds_per_iteration > 0 and self.seconds_per_iteration != float("inf"):
+            self.iterations_done = min(
+                float(self.spec.target_iterations),
+                self.iterations_done + elapsed / self.seconds_per_iteration,
+            )
+        if self.partition is not None:
+            self.gpu_seconds += elapsed * self.partition.n_gpus
+        self.segment_started_at = now

@@ -1,0 +1,213 @@
+"""Mesh-shaped partitions of a shared cluster, and free-space tracking.
+
+A :class:`Partition` is a located, mesh-shaped region of the shared cluster
+(a :class:`~repro.cluster.topology.DeviceMesh` over the *parent* cluster)
+together with the dedicated-looking :class:`~repro.cluster.hardware.ClusterSpec`
+it carves out via :meth:`ClusterSpec.sub_cluster`.  Because the carved spec
+carries no location, two partitions of the same shape pose byte-identical
+planning problems — which is exactly what lets the scheduler score hundreds
+of (job, partition) candidates through the plan service's exact-key cache.
+
+The :class:`PartitionManager` tracks which GPUs are free, allocated or failed
+and enumerates the valid free partitions (the same shapes the paper admits
+for device meshes: whole consecutive hosts, or aligned sub-node slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..cluster.hardware import ClusterSpec
+from ..cluster.topology import DeviceMesh, enumerate_device_meshes
+
+__all__ = ["Partition", "PartitionManager", "equal_node_partitions"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A located mesh-shaped slice of the shared cluster."""
+
+    region: DeviceMesh
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The parent (shared) cluster the partition is carved from."""
+        return self.region.cluster
+
+    @property
+    def n_gpus(self) -> int:
+        return self.region.n_gpus
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_nodes, gpus_per_node)`` shape of the partition."""
+        return self.region.shape
+
+    @property
+    def device_ids(self) -> Tuple[int, ...]:
+        """Global GPU ids (within the parent cluster) covered."""
+        return self.region.device_ids
+
+    @property
+    def device_id_set(self) -> FrozenSet[int]:
+        return self.region.device_id_set
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """The partition as a dedicated-looking cluster (location erased)."""
+        return self.cluster.sub_cluster(self.region.n_nodes, self.region.gpus_per_node)
+
+    def describe(self) -> str:
+        """Human readable location string, e.g. ``trainer[01-04]``."""
+        return f"{self.region.describe()} ({self.n_gpus} GPUs)"
+
+
+def equal_node_partitions(cluster: ClusterSpec, n_slots: int) -> List[Partition]:
+    """Carve the cluster into ``n_slots`` equal whole-node partitions.
+
+    This is the naive static baseline the scheduler benchmark compares
+    against: every slot gets ``n_nodes // n_slots`` consecutive hosts and the
+    carving never changes.  ``n_slots`` must not exceed the node count.
+    """
+    if n_slots < 1:
+        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+    if n_slots > cluster.n_nodes:
+        raise ValueError(
+            f"cannot carve {cluster.n_nodes} nodes into {n_slots} equal node slots"
+        )
+    span = cluster.n_nodes // n_slots
+    return [
+        Partition(
+            DeviceMesh(
+                cluster=cluster,
+                node_start=slot * span,
+                n_nodes=span,
+                gpu_start=0,
+                gpus_per_node=cluster.gpus_per_node,
+            )
+        )
+        for slot in range(n_slots)
+    ]
+
+
+class PartitionManager:
+    """Free/allocated/failed GPU bookkeeping over one shared cluster."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self._free = set(range(cluster.n_gpus))
+        self._allocated: Dict[int, FrozenSet[int]] = {}
+        self._failed: set = set()
+        # All valid meshes of the cluster, enumerated once; candidate queries
+        # filter this list against the current free set.
+        self._meshes = enumerate_device_meshes(cluster)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def free_ids(self) -> FrozenSet[int]:
+        return frozenset(self._free)
+
+    @property
+    def failed_ids(self) -> FrozenSet[int]:
+        return frozenset(self._failed)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_available(self) -> int:
+        """GPUs not lost to failures (free or allocated)."""
+        return self.cluster.n_gpus - len(self._failed)
+
+    def candidates(
+        self,
+        min_gpus: int = 1,
+        max_gpus: Optional[float] = None,
+        extra_free: FrozenSet[int] = frozenset(),
+    ) -> List[Partition]:
+        """Valid partitions placeable on the current free set.
+
+        ``extra_free`` lets callers ask hypothetical questions ("what could I
+        place if these GPUs were also free?") — used by preemption and
+        elastic-resize decisions.  Candidates are returned smallest first,
+        then by location, so greedy consumers naturally pack.
+        """
+        free = self._free | set(extra_free)
+        out = [
+            Partition(mesh)
+            for mesh in self._meshes
+            if min_gpus <= mesh.n_gpus
+            and (max_gpus is None or mesh.n_gpus <= max_gpus)
+            and mesh.device_id_set <= free
+        ]
+        out.sort(key=lambda p: (p.n_gpus, p.region.node_start, p.region.gpu_start))
+        return out
+
+    def distinct_shapes(
+        self,
+        min_gpus: int = 1,
+        max_gpus: Optional[float] = None,
+        extra_free: FrozenSet[int] = frozenset(),
+    ) -> List[Partition]:
+        """One representative candidate per distinct partition shape.
+
+        Same-shaped partitions pose identical planning problems, so costing
+        one representative per shape is enough to score them all.
+        """
+        seen: Dict[Tuple[int, int], Partition] = {}
+        for partition in self.candidates(min_gpus, max_gpus, extra_free):
+            seen.setdefault(partition.shape, partition)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def allocate(self, partition: Partition, owner: int) -> None:
+        """Hand the partition's GPUs to ``owner`` (a job uid)."""
+        ids = partition.device_id_set
+        if not ids <= self._free:
+            missing = sorted(ids - self._free)
+            raise ValueError(f"partition GPUs not free: {missing}")
+        self._free -= ids
+        self._allocated[owner] = ids
+
+    def release(self, owner: int) -> None:
+        """Return an owner's GPUs to the free pool (failed ones stay out)."""
+        ids = self._allocated.pop(owner, frozenset())
+        self._free |= set(ids) - self._failed
+
+    def fail_node(self, node: int) -> FrozenSet[int]:
+        """Mark a whole node failed; returns the affected GPU ids."""
+        if not (0 <= node < self.cluster.n_nodes):
+            raise ValueError(f"node {node} out of range")
+        ids = frozenset(
+            range(
+                node * self.cluster.gpus_per_node,
+                (node + 1) * self.cluster.gpus_per_node,
+            )
+        )
+        self._failed |= ids
+        self._free -= ids
+        return ids
+
+    def restore_node(self, node: int) -> FrozenSet[int]:
+        """Bring a failed node back; its GPUs rejoin the free pool."""
+        ids = frozenset(
+            range(
+                node * self.cluster.gpus_per_node,
+                (node + 1) * self.cluster.gpus_per_node,
+            )
+        )
+        recovered = ids & self._failed
+        self._failed -= recovered
+        allocated = set().union(*self._allocated.values()) if self._allocated else set()
+        self._free |= recovered - allocated
+        return recovered
+
+    def owner_ids(self, owner: int) -> FrozenSet[int]:
+        """GPUs currently held by ``owner`` (empty when none)."""
+        return frozenset(self._allocated.get(owner, frozenset()))

@@ -1,0 +1,431 @@
+"""Discrete-event multi-job scheduler over one shared GPU cluster.
+
+:class:`ClusterScheduler` admits a stream of RLHF training jobs
+(:class:`~repro.sched.job.JobSpec`) onto a shared
+:class:`~repro.cluster.hardware.ClusterSpec` and simulates the cluster in
+virtual time.  The event loop covers:
+
+* **arrivals** — jobs join the queue at their arrival time;
+* **completions** — a placed job finishes after ``target_iterations`` at the
+  iteration time of its searched plan;
+* **failures / recoveries** — injected whole-node failures displace every
+  job whose partition touches the node; recoveries return the capacity;
+* **elastic resizes** — when capacity frees up and the queue is empty,
+  running jobs may migrate to larger partitions when the re-planned
+  throughput gain clears a threshold.
+
+Every placement is a full plan search over the partition's carved cluster,
+served by the shared :class:`~repro.service.server.PlanService`: same-shaped
+partitions are exact cache hits, and displaced jobs re-plan with a reduced
+budget, warm-started from their own previously cached plans (same
+fingerprint family) — cold planning happens once per (job type, shape).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cluster.hardware import ClusterSpec
+from ..core.pruning import PruneConfig
+from ..core.search import SearchConfig
+from ..service.server import PlanService
+from .costing import Candidate, PlanCosting
+from .job import Job, JobPhase, JobSpec
+from .metrics import JobMetrics, ScheduleReport
+from .partition import PartitionManager
+from .policies import SchedulingPolicy, get_policy
+
+__all__ = ["NodeFailure", "SchedulerConfig", "ClusterScheduler", "schedule_trace"]
+
+# Event kinds, in processing order within one timestamp: capacity changes
+# first (failures take GPUs away, recoveries return them), then arrivals,
+# then completions.
+_FAILURE, _RECOVERY, _ARRIVAL, _COMPLETION = range(4)
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """An injected whole-node failure (optionally with a recovery time)."""
+
+    time: float
+    node: int
+    recovery_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be >= 0")
+        if self.recovery_time is not None and self.recovery_time <= self.time:
+            raise ValueError("recovery_time must be after the failure time")
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the scheduling loop (search budgets, elasticity)."""
+
+    search: SearchConfig = field(
+        default_factory=lambda: SearchConfig(
+            max_iterations=400, time_budget_s=2.0, record_history=False
+        )
+    )
+    """Budget of cold placements (first search of a (job type, shape))."""
+    replan_search: Optional[SearchConfig] = None
+    """Budget of warm-started replans; defaults to a quarter of ``search``."""
+    prune: PruneConfig = field(default_factory=PruneConfig)
+    elastic: bool = True
+    """Whether running jobs may grow onto freed capacity."""
+    resize_threshold: float = 1.05
+    """Minimum relative iterations/sec gain for an elastic migration."""
+    max_dispatch_rounds: int = 256
+    """Safety bound on placement/preemption rounds per event."""
+
+    def resolved_replan_search(self) -> SearchConfig:
+        if self.replan_search is not None:
+            return self.replan_search
+        return dataclasses.replace(
+            self.search,
+            max_iterations=max(1, self.search.max_iterations // 4),
+            time_budget_s=self.search.time_budget_s / 4.0,
+        )
+
+
+class ClusterScheduler:
+    """Multiplex concurrent RLHF jobs over one shared cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        jobs: Sequence[JobSpec],
+        policy: Union[str, SchedulingPolicy] = "best_throughput",
+        config: Optional[SchedulerConfig] = None,
+        service: Optional[PlanService] = None,
+        failures: Sequence[NodeFailure] = (),
+    ) -> None:
+        names = [spec.name for spec in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {sorted(names)}")
+        for spec in jobs:
+            if spec.min_gpus > cluster.n_gpus:
+                raise ValueError(
+                    f"job {spec.name!r} needs >= {spec.min_gpus} GPUs but the "
+                    f"cluster has {cluster.n_gpus}"
+                )
+        self.cluster = cluster
+        self.policy = get_policy(policy)
+        self.config = config if config is not None else SchedulerConfig()
+        self._owns_service = service is None
+        self.service = service if service is not None else PlanService(
+            max_workers=4, estimator_cache_size=32
+        )
+        self.failures = list(failures)
+        self.jobs = [Job.from_spec(spec) for spec in jobs]
+        self.manager = PartitionManager(cluster)
+        self.costing = PlanCosting(
+            service=self.service,
+            search=self.config.search,
+            replan_search=self.config.resolved_replan_search(),
+            prune=self.config.prune,
+        )
+        self._queue: List[Job] = []
+        self._events: List[Tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._timeline: List[Dict[str, object]] = []
+        self._n_failures = 0
+        self._n_recoveries = 0
+        self._busy_until = 0.0
+        self._stats_baseline = self.service.stats.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+
+    def _log(self, time: float, event: str, job: Optional[Job], detail: str) -> None:
+        self._timeline.append(
+            {
+                "time": round(time, 4),
+                "event": event,
+                "job": job.name if job is not None else None,
+                "detail": detail,
+            }
+        )
+
+    def _running(self) -> List[Job]:
+        return [job for job in self.jobs if job.is_running]
+
+    def _accrue(self, job: Job, time: float) -> None:
+        """Bank a job's running segment and extend the busy horizon."""
+        job.accrue(time)
+        self._busy_until = max(self._busy_until, time)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> ScheduleReport:
+        """Simulate the whole trace and return the schedule report."""
+        for job in self.jobs:
+            self._push(job.spec.arrival_time, _ARRIVAL, job)
+        for failure in self.failures:
+            self._push(failure.time, _FAILURE, failure.node)
+            if failure.recovery_time is not None:
+                self._push(failure.recovery_time, _RECOVERY, failure.node)
+        try:
+            while self._events:
+                # Drain every event of the current timestamp before making
+                # scheduling decisions, so e.g. a simultaneous arrival is not
+                # starved by an elastic resize triggered a moment "earlier".
+                now = self._events[0][0]
+                while self._events and self._events[0][0] == now:
+                    time, kind, _, payload = heapq.heappop(self._events)
+                    if kind == _ARRIVAL:
+                        self._handle_arrival(time, payload)
+                    elif kind == _COMPLETION:
+                        self._handle_completion(time, payload)
+                    elif kind == _FAILURE:
+                        self._handle_failure(time, payload)
+                    elif kind == _RECOVERY:
+                        self._handle_recovery(time, payload)
+                self._dispatch(now)
+        finally:
+            if self._owns_service:
+                self.service.close()
+        return self._report()
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self, time: float, job: Job) -> None:
+        self._queue.append(job)
+        self._log(time, "arrival", job, f"priority {job.spec.priority}")
+
+    def _handle_completion(self, time: float, payload: object) -> None:
+        job, generation = payload
+        if job.generation != generation or not job.is_running:
+            return  # stale event from before a displacement
+        self._accrue(job, time)
+        job.phase = JobPhase.COMPLETED
+        job.completed_at = time
+        job.segment_started_at = None
+        self.manager.release(job.uid)
+        self._log(time, "completion", job, f"{job.iterations_done:.1f} iterations")
+        job.partition = None
+
+    def _handle_failure(self, time: float, node: int) -> None:
+        self._n_failures += 1
+        failed_ids = self.manager.fail_node(node)
+        self._log(time, "failure", None, f"node {node} down")
+        for job in self._running():
+            if job.partition is not None and job.partition.device_id_set & failed_ids:
+                self._displace(job, time, reason="failure")
+
+    def _handle_recovery(self, time: float, node: int) -> None:
+        self._n_recoveries += 1
+        self.manager.restore_node(node)
+        self._log(time, "recovery", None, f"node {node} back")
+
+    def _displace(self, job: Job, time: float, reason: str) -> None:
+        """Stop a running job's segment and send it back to the queue."""
+        self._accrue(job, time)
+        job.generation += 1
+        self.manager.release(job.uid)
+        job.partition = None
+        job.plan = None
+        job.seconds_per_iteration = float("inf")
+        job.segment_started_at = None
+        job.phase = JobPhase.PENDING
+        if reason == "preemption":
+            job.n_preemptions += 1
+        self._queue.append(job)
+        self._log(time, "displaced", job, reason)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch: placements, preemptions, elastic resizes
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, time: float) -> None:
+        while True:
+            for _ in range(self.config.max_dispatch_rounds):
+                decision = self.policy.decide(
+                    self._queue, self._running(), self.manager, self.costing
+                )
+                if decision.preemptions:
+                    for victim in decision.preemptions:
+                        self._displace(victim, time, reason="preemption")
+                    continue
+                if decision.placement is None:
+                    break
+                self._place(decision.placement, time)
+            # Dropping a hopeless job may unblock jobs queued behind it
+            # (head-of-line policies), so dispatch again after a drop.
+            if not self._drop_unplaceable(time):
+                break
+        if self.config.elastic and self.policy.allows_resize and not self._queue:
+            self._try_resizes(time)
+
+    def _place(self, candidate: Candidate, time: float) -> None:
+        job = candidate.job
+        self._queue.remove(job)
+        self.manager.allocate(candidate.partition, job.uid)
+        job.partition = candidate.partition
+        job.plan = candidate.plan
+        job.seconds_per_iteration = candidate.seconds_per_iteration
+        job.phase = JobPhase.RUNNING
+        job.segment_started_at = time
+        replanned = job.first_started_at is not None
+        if replanned:
+            job.n_replans += 1
+        else:
+            job.first_started_at = time
+        self._schedule_completion(job, time)
+        kind = "replan" if replanned else "placement"
+        self._log(
+            time,
+            kind,
+            job,
+            f"{candidate.partition.describe()}, "
+            f"{candidate.seconds_per_iteration:.2f} s/iter",
+        )
+
+    def _schedule_completion(self, job: Job, time: float) -> None:
+        finish = time + job.remaining_iterations * job.seconds_per_iteration
+        self._push(finish, _COMPLETION, (job, job.generation))
+
+    def _drop_unplaceable(self, time: float) -> bool:
+        """Give up on jobs no partition of the fully idle cluster can host.
+
+        Only triggers when nothing is running, nothing is failed and the
+        queue still cannot drain — i.e. waiting longer cannot help.  Without
+        this valve an infeasible job would leave the whole report pending.
+        Returns whether any job was dropped.
+        """
+        if not self._queue or self._running() or self.manager.failed_ids:
+            return False
+        dropped = False
+        for job in list(self._queue):
+            shapes = self.manager.distinct_shapes(job.spec.min_gpus, job.spec.gpu_ceiling)
+            if any(c.feasible for c in self.costing.score_one(job, shapes)):
+                continue
+            self._queue.remove(job)
+            job.phase = JobPhase.UNPLACEABLE
+            dropped = True
+            self._log(time, "unplaceable", job, "no feasible partition on idle cluster")
+        return dropped
+
+    def _try_resizes(self, time: float) -> None:
+        """Grow running jobs onto free capacity when re-planning pays off."""
+        for job in self._running():
+            if job.partition is None or job.spec.gpu_ceiling <= job.partition.n_gpus:
+                continue
+            own_ids = self.manager.owner_ids(job.uid)
+            shapes = [
+                shape
+                for shape in self.manager.distinct_shapes(
+                    job.partition.n_gpus + 1, job.spec.gpu_ceiling, extra_free=own_ids
+                )
+                if shape.n_gpus > job.partition.n_gpus
+            ]
+            if not shapes:
+                continue
+            feasible = [c for c in self.costing.score_one(job, shapes) if c.feasible]
+            if not feasible:
+                continue
+            best = max(feasible, key=lambda c: c.iterations_per_second)
+            if best.iterations_per_second <= job.throughput * self.config.resize_threshold:
+                continue
+            # Migrate: close the current segment, move to the bigger partition.
+            self._accrue(job, time)
+            job.generation += 1
+            self.manager.release(job.uid)
+            self.manager.allocate(best.partition, job.uid)
+            job.partition = best.partition
+            job.plan = best.plan
+            job.seconds_per_iteration = best.seconds_per_iteration
+            job.segment_started_at = time
+            job.n_resizes += 1
+            self._schedule_completion(job, time)
+            self._log(
+                time,
+                "resize",
+                job,
+                f"grew to {best.partition.describe()}, "
+                f"{best.seconds_per_iteration:.2f} s/iter",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _report(self) -> ScheduleReport:
+        job_metrics = [
+            JobMetrics(
+                name=job.name,
+                priority=job.spec.priority,
+                arrival_time=job.spec.arrival_time,
+                first_started_at=job.first_started_at,
+                completed_at=job.completed_at,
+                iterations=job.iterations_done,
+                n_replans=job.n_replans,
+                n_preemptions=job.n_preemptions,
+                n_resizes=job.n_resizes,
+                gpu_seconds=job.gpu_seconds,
+                phase=job.phase.value,
+            )
+            for job in self.jobs
+        ]
+        completions = [m.completed_at for m in job_metrics if m.completed_at is not None]
+        arrivals = [m.arrival_time for m in job_metrics]
+        start = min(arrivals) if arrivals else 0.0
+        makespan = (max(completions) - start) if completions else 0.0
+        return ScheduleReport(
+            policy=self.policy.name,
+            cluster_gpus=self.cluster.n_gpus,
+            jobs=job_metrics,
+            makespan=makespan,
+            busy_horizon=max(0.0, self._busy_until - start),
+            total_iterations=sum(m.iterations for m in job_metrics),
+            n_failures=self._n_failures,
+            n_recoveries=self._n_recoveries,
+            candidates_scored=self.costing.candidates_scored,
+            cold_searches=self.costing.cold_stats,
+            replan_searches=self.costing.replan_stats,
+            service_stats=self._service_stats_delta(),
+            timeline=self._timeline,
+        )
+
+    def _service_stats_delta(self) -> Dict[str, float]:
+        """This run's share of the (possibly shared) service's counters.
+
+        A shared service accumulates across runs; reporting the raw snapshot
+        would attribute earlier runs' traffic to this schedule, so the
+        baseline captured at construction is subtracted and the hit rate
+        recomputed from the delta.
+        """
+        end = self.service.stats.snapshot().to_dict()
+        base = self._stats_baseline.to_dict()
+        delta = {key: end[key] - base[key] for key in end if key != "hit_rate"}
+        delta["hit_rate"] = (
+            delta["cache_hits"] / delta["requests"] if delta["requests"] else 0.0
+        )
+        return delta
+
+
+def schedule_trace(
+    cluster: ClusterSpec,
+    jobs: Sequence[JobSpec],
+    policy: Union[str, SchedulingPolicy] = "best_throughput",
+    config: Optional[SchedulerConfig] = None,
+    service: Optional[PlanService] = None,
+    failures: Sequence[NodeFailure] = (),
+) -> ScheduleReport:
+    """Convenience wrapper: build a :class:`ClusterScheduler` and run it once."""
+    scheduler = ClusterScheduler(
+        cluster=cluster,
+        jobs=jobs,
+        policy=policy,
+        config=config,
+        service=service,
+        failures=failures,
+    )
+    return scheduler.run()

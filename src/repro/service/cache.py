@@ -53,6 +53,8 @@ class PlanCacheEntry:
     n_accepted: int = 0
     elapsed_seconds: float = 0.0
     search_space: float = 0.0
+    peak_memory_bytes: float = 0.0
+    """Estimated MaxMem of the best plan; 0 means unknown (legacy entries)."""
 
     @classmethod
     def from_search_result(
@@ -60,6 +62,7 @@ class PlanCacheEntry:
         fingerprint: WorkloadFingerprint,
         result: SearchResult,
         cluster: ClusterSpec,
+        peak_memory_bytes: float = 0.0,
     ) -> "PlanCacheEntry":
         """Build an entry from a finished search."""
         return cls(
@@ -74,6 +77,7 @@ class PlanCacheEntry:
             n_accepted=result.n_accepted,
             elapsed_seconds=result.elapsed_seconds,
             search_space=result.search_space,
+            peak_memory_bytes=peak_memory_bytes,
         )
 
     def plan(self, cluster: ClusterSpec) -> ExecutionPlan:
@@ -115,6 +119,7 @@ class PlanCacheEntry:
             "n_accepted": self.n_accepted,
             "elapsed_seconds": self.elapsed_seconds,
             "search_space": self.search_space,
+            "peak_memory_bytes": self.peak_memory_bytes,
         }
 
     @classmethod
@@ -141,6 +146,7 @@ class PlanCacheEntry:
             n_accepted=int(data.get("n_accepted", 0)),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             search_space=float(data.get("search_space", 0.0)),
+            peak_memory_bytes=float(data.get("peak_memory_bytes", 0.0)),
         )
 
 

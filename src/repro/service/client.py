@@ -106,9 +106,9 @@ class PlanClient:
         return self.service.stats
 
     def close(self) -> None:
-        """Shut the service down if this client owns it."""
+        """Close the service (pool shutdown + cache flush) if this client owns it."""
         if self._owns_service:
-            self.service.shutdown()
+            self.service.close()
 
     def __enter__(self) -> "PlanClient":
         return self

@@ -82,12 +82,21 @@ class RequestStats:
 
 @dataclass(frozen=True)
 class PlanResponse:
-    """A served plan plus provenance."""
+    """A served plan plus provenance.
+
+    ``peak_memory_bytes`` is the estimator's MaxMem of the served plan
+    (0 when unknown, e.g. a legacy persisted cache entry); ``feasible`` is
+    that peak compared against the request cluster's per-device capacity.
+    Schedulers use it to reject (job, partition) candidates whose best plan
+    still OOMs.
+    """
 
     plan: ExecutionPlan
     cost: float
     result: SearchResult
     stats: RequestStats
+    peak_memory_bytes: float = 0.0
+    feasible: bool = True
 
 
 @dataclass
@@ -110,6 +119,12 @@ class ServiceStats:
     def snapshot(self) -> "ServiceStats":
         """Copy of the counters (the live object keeps mutating)."""
         return dataclasses.replace(self)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Machine-readable form of the counters (benchmarks, schedulers)."""
+        data: Dict[str, float] = dataclasses.asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data
 
 
 class PlanService:
@@ -292,8 +307,24 @@ class PlanService:
             total_seconds=elapsed,
         )
         return PlanResponse(
-            plan=result.best_plan, cost=result.best_cost, result=result, stats=stats
+            plan=result.best_plan,
+            cost=result.best_cost,
+            result=result,
+            stats=stats,
+            peak_memory_bytes=entry.peak_memory_bytes,
+            feasible=self._fits_memory(entry.peak_memory_bytes, request.cluster),
         )
+
+    @staticmethod
+    def _fits_memory(peak_memory_bytes: float, cluster: ClusterSpec) -> bool:
+        """Whether a plan's estimated MaxMem fits the per-device capacity.
+
+        An unknown peak (0, from legacy cache entries) is treated as fitting —
+        the pre-existing behaviour of serving the plan unconditionally.
+        """
+        if peak_memory_bytes <= 0:
+            return True
+        return peak_memory_bytes < cluster.device_memory_bytes
 
     def _execute(
         self,
@@ -315,19 +346,23 @@ class PlanService:
                 if warm_plan is not None:
                     seed_plans.append(warm_plan)
                     warm_started = True
+        estimator = self._estimator_for(request, fingerprint)
         searcher = MCMCSearcher(
             graph=request.graph,
             workload=request.workload,
             cluster=request.cluster,
-            estimator=self._estimator_for(request, fingerprint),
+            estimator=estimator,
             options=options,
             prune=request.prune,
             config=request.search,
             seed_plans=seed_plans,
         )
         result = searcher.search()
+        peak_memory_bytes = estimator.max_memory(result.best_plan).max_bytes
         self.cache.put(
-            PlanCacheEntry.from_search_result(fingerprint, result, request.cluster)
+            PlanCacheEntry.from_search_result(
+                fingerprint, result, request.cluster, peak_memory_bytes
+            )
         )
         finished_at = time.perf_counter()
         with self._lock:
@@ -347,6 +382,8 @@ class PlanService:
             cost=result.best_cost,
             result=result,
             stats=stats,
+            peak_memory_bytes=peak_memory_bytes,
+            feasible=self._fits_memory(peak_memory_bytes, request.cluster),
         )
 
     # ------------------------------------------------------------------ #
@@ -357,8 +394,19 @@ class PlanService:
         self._closed = True
         self._pool.shutdown(wait=wait)
 
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down and flush the plan cache to disk.
+
+        ``shutdown`` alone leaves a persistent cache at whatever state its
+        last mutation wrote; ``close`` additionally forces a final
+        :meth:`PlanCache.flush`, so a persisted cache is never lost on exit.
+        Safe to call more than once.
+        """
+        self.shutdown(wait=wait)
+        self.cache.flush()
+
     def __enter__(self) -> "PlanService":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
+        self.close()

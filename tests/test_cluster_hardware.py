@@ -101,6 +101,39 @@ class TestClusterSpec:
         assert grown.n_nodes == 4
         assert grown.gpu == cluster.gpu
 
+    def test_sub_cluster_whole_nodes(self):
+        cluster = ClusterSpec(n_nodes=4)
+        carved = cluster.sub_cluster(2)
+        assert carved.n_nodes == 2
+        assert carved.gpus_per_node == cluster.gpus_per_node
+        assert carved.gpu == cluster.gpu
+        assert carved.interconnect == cluster.interconnect
+        assert carved.rpc_overhead_s == cluster.rpc_overhead_s
+
+    def test_sub_cluster_sub_node_slice(self):
+        cluster = ClusterSpec(n_nodes=4, gpus_per_node=8)
+        carved = cluster.sub_cluster(1, 4)
+        assert (carved.n_nodes, carved.gpus_per_node) == (1, 4)
+
+    def test_sub_cluster_location_erased(self):
+        # Same-shaped partitions must be indistinguishable clusters, so the
+        # plan cache can share entries between them.
+        cluster = ClusterSpec(n_nodes=4)
+        assert cluster.sub_cluster(2) == cluster.sub_cluster(2)
+
+    def test_sub_cluster_rejects_invalid_shapes(self):
+        cluster = ClusterSpec(n_nodes=4, gpus_per_node=8)
+        with pytest.raises(ValueError):
+            cluster.sub_cluster(5)  # more nodes than the cluster has
+        with pytest.raises(ValueError):
+            cluster.sub_cluster(0)
+        with pytest.raises(ValueError):
+            cluster.sub_cluster(2, 4)  # multi-node must span whole hosts
+        with pytest.raises(ValueError):
+            cluster.sub_cluster(1, 3)  # width must divide gpus_per_node
+        with pytest.raises(ValueError):
+            cluster.sub_cluster(1, 16)  # wider than a node
+
 
 class TestMakeCluster:
     @pytest.mark.parametrize("n_gpus,expected_nodes", [(8, 1), (16, 2), (64, 8), (128, 16)])

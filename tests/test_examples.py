@@ -36,6 +36,7 @@ def test_examples_directory_complete():
     assert names == [
         "compare_rlhf_systems",
         "long_context_planning",
+        "multi_job_scheduling",
         "quickstart",
         "tiny_rlhf_training",
     ]
@@ -79,9 +80,32 @@ def test_tiny_rlhf_training_tiny_run(monkeypatch, capsys):
         assert name in out
 
 
+def test_multi_job_scheduling_tiny_run(monkeypatch, capsys):
+    _run_main(
+        monkeypatch,
+        "multi_job_scheduling",
+        [
+            "--gpus", "16",
+            "--search-iterations", "25",
+            "--search-seconds", "0.2",
+            "--fail-node", "1",
+        ],
+    )
+    out = capsys.readouterr().out
+    assert "Timeline:" in out
+    assert "failure" in out
+    assert "GPU utilization" in out
+
+
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "compare_rlhf_systems", "long_context_planning", "tiny_rlhf_training"],
+    [
+        "quickstart",
+        "compare_rlhf_systems",
+        "long_context_planning",
+        "tiny_rlhf_training",
+        "multi_job_scheduling",
+    ],
 )
 def test_example_imports_cleanly(name):
     module = _load_example(name)

@@ -1,0 +1,136 @@
+"""Unit tests for partitions and the free-space manager of the scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import make_cluster
+from repro.sched import Partition, PartitionManager, equal_node_partitions
+
+
+class TestPartition:
+    def test_spec_shape_matches_region(self):
+        manager = PartitionManager(make_cluster(32))
+        for partition in manager.candidates():
+            spec = partition.spec
+            assert (spec.n_nodes, spec.gpus_per_node) == partition.shape
+            assert spec.n_gpus == partition.n_gpus
+
+    def test_same_shape_partitions_share_spec(self):
+        manager = PartitionManager(make_cluster(32))
+        by_shape = {}
+        for partition in manager.candidates():
+            by_shape.setdefault(partition.shape, []).append(partition)
+        for shape, group in by_shape.items():
+            specs = {p.spec for p in group}
+            assert len(specs) == 1, f"shape {shape} produced distinct specs"
+
+    def test_describe_mentions_gpu_count(self):
+        partition = PartitionManager(make_cluster(16)).candidates(min_gpus=16)[0]
+        assert "16 GPUs" in partition.describe()
+
+
+class TestEqualNodePartitions:
+    def test_exact_tiling(self):
+        cluster = make_cluster(64)
+        slots = equal_node_partitions(cluster, 8)
+        covered = set()
+        for slot in slots:
+            assert not covered & slot.device_id_set
+            covered |= slot.device_id_set
+        assert covered == set(range(64))
+
+    def test_uneven_split_leaves_remainder_unused(self):
+        cluster = make_cluster(64)  # 8 nodes
+        slots = equal_node_partitions(cluster, 3)
+        assert all(slot.n_gpus == 2 * 8 for slot in slots)
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(ValueError):
+            equal_node_partitions(make_cluster(16), 3)
+        with pytest.raises(ValueError):
+            equal_node_partitions(make_cluster(16), 0)
+
+
+class TestPartitionManager:
+    def test_initially_all_free(self):
+        manager = PartitionManager(make_cluster(16))
+        assert manager.n_free == 16
+        assert manager.n_available == 16
+
+    def test_candidates_sorted_smallest_first(self):
+        manager = PartitionManager(make_cluster(16))
+        sizes = [p.n_gpus for p in manager.candidates()]
+        assert sizes == sorted(sizes)
+
+    def test_candidates_respect_bounds(self):
+        manager = PartitionManager(make_cluster(32))
+        for partition in manager.candidates(min_gpus=8, max_gpus=16):
+            assert 8 <= partition.n_gpus <= 16
+
+    def test_allocate_removes_and_release_returns(self):
+        manager = PartitionManager(make_cluster(16))
+        partition = manager.candidates(min_gpus=8, max_gpus=8)[0]
+        manager.allocate(partition, owner=1)
+        assert manager.n_free == 8
+        assert not any(
+            p.device_id_set & partition.device_id_set for p in manager.candidates()
+        )
+        manager.release(1)
+        assert manager.n_free == 16
+
+    def test_double_allocate_rejected(self):
+        manager = PartitionManager(make_cluster(16))
+        partition = manager.candidates(min_gpus=16)[0]
+        manager.allocate(partition, owner=1)
+        with pytest.raises(ValueError):
+            manager.allocate(partition, owner=2)
+
+    def test_fail_node_removes_capacity(self):
+        manager = PartitionManager(make_cluster(16))
+        failed = manager.fail_node(0)
+        assert len(failed) == 8
+        assert manager.n_available == 8
+        assert all(p.device_id_set.isdisjoint(failed) for p in manager.candidates())
+
+    def test_release_after_failure_keeps_failed_gpus_out(self):
+        manager = PartitionManager(make_cluster(16))
+        partition = manager.candidates(min_gpus=8, max_gpus=8)[0]
+        manager.allocate(partition, owner=1)
+        manager.fail_node(0)  # the first candidate lives on node 0
+        manager.release(1)
+        assert manager.n_free == 8  # only node 1 is free
+        manager.restore_node(0)
+        assert manager.n_free == 16
+
+    def test_restore_out_of_range_node_rejected(self):
+        manager = PartitionManager(make_cluster(16))
+        with pytest.raises(ValueError):
+            manager.fail_node(5)
+
+    def test_extra_free_enables_hypothetical_candidates(self):
+        manager = PartitionManager(make_cluster(16))
+        full = manager.candidates(min_gpus=16)[0]
+        manager.allocate(full, owner=1)
+        assert manager.candidates(min_gpus=8) == []
+        hypothetical = manager.candidates(min_gpus=8, extra_free=full.device_id_set)
+        assert hypothetical
+
+    def test_distinct_shapes_deduplicates(self):
+        manager = PartitionManager(make_cluster(32))
+        shapes = [p.shape for p in manager.distinct_shapes(min_gpus=8)]
+        assert len(shapes) == len(set(shapes))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=6),
+        min_gpus=st.integers(min_value=1, max_value=16),
+    )
+    def test_candidates_are_valid_free_meshes(self, n_nodes, min_gpus):
+        manager = PartitionManager(make_cluster(n_nodes * 8))
+        free = manager.free_ids
+        for partition in manager.candidates(min_gpus=min_gpus):
+            assert partition.n_gpus >= min_gpus
+            assert partition.device_id_set <= free
+            # The carved spec must be constructible (valid mesh shape).
+            assert partition.spec.n_gpus == partition.n_gpus

@@ -1,0 +1,330 @@
+"""End-to-end tests of the multi-job cluster scheduler."""
+
+import json
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import SearchConfig, schedule_jobs
+from repro.sched import (
+    ClusterScheduler,
+    JobPhase,
+    JobSpec,
+    NodeFailure,
+    SchedulerConfig,
+    StaticEqualPolicy,
+    available_policies,
+    get_policy,
+    schedule_trace,
+)
+from repro.service import PlanService
+
+TINY = SchedulerConfig(
+    search=SearchConfig(max_iterations=25, time_budget_s=0.5, record_history=False)
+)
+
+
+def tiny_job(name, **kwargs):
+    defaults = dict(
+        name=name, batch_size=64, target_iterations=4, min_gpus=8, max_gpus=8
+    )
+    defaults.update(kwargs)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="")
+        with pytest.raises(ValueError):
+            JobSpec(name="x", target_iterations=0)
+        with pytest.raises(ValueError):
+            JobSpec(name="x", min_gpus=8, max_gpus=4)
+        with pytest.raises(ValueError):
+            JobSpec(name="x", arrival_time=-1.0)
+
+    def test_builders(self):
+        spec = JobSpec(name="x", algorithm="grpo")
+        graph = spec.build_graph()
+        workload = spec.build_workload()
+        assert graph.call_names
+        assert set(workload.model_configs)
+
+
+class TestPolicyRegistry:
+    def test_available_policies(self):
+        assert available_policies() == [
+            "best_throughput",
+            "first_fit",
+            "priority",
+            "static_equal",
+        ]
+
+    def test_get_policy_passthrough_and_errors(self):
+        policy = StaticEqualPolicy(n_slots=2)
+        assert get_policy(policy) is policy
+        with pytest.raises(KeyError):
+            get_policy("nope")
+
+
+class TestSchedulerBasics:
+    def test_two_jobs_run_concurrently(self):
+        jobs = [tiny_job("a"), tiny_job("b")]
+        report = schedule_trace(make_cluster(16), jobs, policy="first_fit", config=TINY)
+        assert report.all_completed
+        assert report.n_jobs == 2
+        # Both fit at t=0, so neither waits and they overlap fully.
+        assert report.mean_queue_wait == 0.0
+        assert 0.0 < report.gpu_utilization <= 1.0
+        assert report.aggregate_iterations_per_second > 0
+
+    def test_queueing_when_cluster_full(self):
+        jobs = [tiny_job("a"), tiny_job("b")]
+        report = schedule_trace(make_cluster(8), jobs, policy="first_fit", config=TINY)
+        assert report.all_completed
+        waits = sorted(job.queue_wait for job in report.jobs)
+        assert waits[0] == 0.0 and waits[1] > 0.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(make_cluster(8), [tiny_job("a"), tiny_job("a")])
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(make_cluster(8), [tiny_job("a", min_gpus=16, max_gpus=16)])
+
+    def test_report_is_json_serializable(self):
+        report = schedule_trace(
+            make_cluster(8), [tiny_job("a")], policy="first_fit", config=TINY
+        )
+        payload = json.dumps(report.to_dict())
+        assert "aggregate_iterations_per_second" in payload
+        assert report.summary_row()["jobs"] == "1/1"
+
+    def test_schedule_jobs_api(self):
+        report = schedule_jobs(
+            [tiny_job("a"), tiny_job("b")], n_gpus=16, policy="first_fit", config=TINY
+        )
+        assert report.all_completed
+        assert report.cluster_gpus == 16
+
+    def test_shared_service_is_not_closed(self):
+        service = PlanService(max_workers=2)
+        first = schedule_trace(
+            make_cluster(8), [tiny_job("a")], policy="first_fit",
+            config=TINY, service=service,
+        )
+        # A borrowed service must stay usable for the next run.
+        report = schedule_trace(
+            make_cluster(8), [tiny_job("b")], policy="first_fit",
+            config=TINY, service=service,
+        )
+        assert report.all_completed
+        assert report.service_stats["cache_hits"] > 0
+        # Each report sees only its own run's traffic, not the shared
+        # service's cumulative counters.
+        total = service.stats.snapshot().to_dict()
+        assert (
+            first.service_stats["requests"] + report.service_stats["requests"]
+            == total["requests"]
+        )
+        service.close()
+
+    def test_dedup_joined_requests_not_double_billed(self):
+        from repro.sched import Job, PlanCosting
+        from repro.service import RequestStats
+
+        costing = PlanCosting(
+            service=None, search=TINY.search, replan_search=TINY.search
+        )
+        runtime_job = Job.from_spec(tiny_job("a"))
+        runtime_job.first_started_at = 1.0  # makes it a replan
+        joined = RequestStats(
+            fingerprint="x", cache_hit=False, dedup_joined=True, search_seconds=5.0
+        )
+        costing._record(runtime_job, joined)
+        assert costing.replan_stats.count == 0
+        real = RequestStats(
+            fingerprint="x", cache_hit=False, warm_started=True, search_seconds=0.5
+        )
+        costing._record(runtime_job, real)
+        assert costing.replan_stats.count == 1
+        assert costing.replan_stats.total_seconds == pytest.approx(0.5)
+
+
+class TestElasticResize:
+    def test_long_job_grows_after_short_job_finishes(self):
+        jobs = [
+            tiny_job("short", target_iterations=3, max_gpus=8),
+            tiny_job("long", target_iterations=20, batch_size=128, max_gpus=16),
+        ]
+        config = SchedulerConfig(
+            search=SearchConfig(max_iterations=150, time_budget_s=1.0, record_history=False),
+            resize_threshold=1.01,
+        )
+        report = schedule_trace(
+            make_cluster(16), jobs, policy="best_throughput", config=config
+        )
+        assert report.all_completed
+        assert report.n_resizes >= 1
+        long_metrics = next(j for j in report.jobs if j.name == "long")
+        assert long_metrics.n_resizes >= 1
+
+    def test_elastic_disabled(self):
+        jobs = [
+            tiny_job("short", target_iterations=3, max_gpus=8),
+            tiny_job("long", target_iterations=20, batch_size=128, max_gpus=16),
+        ]
+        config = SchedulerConfig(search=TINY.search, elastic=False)
+        report = schedule_trace(
+            make_cluster(16), jobs, policy="best_throughput", config=config
+        )
+        assert report.all_completed
+        assert report.n_resizes == 0
+
+
+class TestPreemption:
+    def test_high_priority_preempts_lower(self):
+        jobs = [
+            tiny_job("low", priority=0, target_iterations=30),
+            tiny_job("high", priority=5, target_iterations=3, arrival_time=10.0),
+        ]
+        report = schedule_trace(make_cluster(8), jobs, policy="priority", config=TINY)
+        assert report.all_completed
+        assert report.n_preemptions == 1
+        low = next(j for j in report.jobs if j.name == "low")
+        high = next(j for j in report.jobs if j.name == "high")
+        assert high.queue_wait == 0.0
+        assert low.n_preemptions == 1
+        assert low.n_replans >= 1
+        # The preempted job resumed with its progress intact.
+        assert low.iterations == pytest.approx(30.0, abs=1e-6)
+
+    def test_equal_priority_never_preempts(self):
+        jobs = [
+            tiny_job("a", priority=1, target_iterations=10),
+            tiny_job("b", priority=1, target_iterations=3, arrival_time=5.0),
+        ]
+        report = schedule_trace(make_cluster(8), jobs, policy="priority", config=TINY)
+        assert report.all_completed
+        assert report.n_preemptions == 0
+
+    def test_infeasible_head_job_does_not_cascade_preemptions(self):
+        # The high-priority job OOMs on every partition, so preempting the
+        # running low-priority job cannot help and must not happen.
+        jobs = [
+            tiny_job("low", priority=0, target_iterations=10),
+            JobSpec(
+                name="huge",
+                actor_size="70b",
+                critic_size="7b",
+                batch_size=512,
+                priority=9,
+                arrival_time=5.0,
+                target_iterations=2,
+                min_gpus=8,
+                max_gpus=8,
+            ),
+        ]
+        report = schedule_trace(make_cluster(8), jobs, policy="priority", config=TINY)
+        assert report.n_preemptions == 0
+        phases = {j.name: j.phase for j in report.jobs}
+        assert phases["low"] == JobPhase.COMPLETED.value
+        assert phases["huge"] == JobPhase.UNPLACEABLE.value
+
+
+class TestFailures:
+    def test_node_failure_displaces_and_replans(self):
+        jobs = [tiny_job("a", target_iterations=20)]
+        failure = NodeFailure(time=20.0, node=0, recovery_time=40.0)
+        report = schedule_trace(
+            make_cluster(8), jobs, policy="first_fit", config=TINY, failures=[failure]
+        )
+        assert report.all_completed
+        assert report.n_failures == 1
+        assert report.n_recoveries == 1
+        assert report.n_replans == 1
+        job = report.jobs[0]
+        # 20s of downtime shows up in the turnaround.
+        assert job.turnaround > 20.0
+        events = [e["event"] for e in report.timeline]
+        assert "displaced" in events and "replan" in events
+
+    def test_failure_of_idle_node_displaces_nothing(self):
+        jobs = [tiny_job("a")]
+        failure = NodeFailure(time=1.0, node=1)  # job runs on node 0
+        report = schedule_trace(
+            make_cluster(16), jobs, policy="first_fit", config=TINY, failures=[failure]
+        )
+        assert report.all_completed
+        assert report.n_replans == 0
+
+    def test_replans_are_warm_or_cached(self):
+        jobs = [tiny_job("a", target_iterations=20), tiny_job("b", target_iterations=20)]
+        failure = NodeFailure(time=30.0, node=0, recovery_time=60.0)
+        report = schedule_trace(
+            make_cluster(16), jobs, policy="first_fit", config=TINY, failures=[failure]
+        )
+        assert report.all_completed
+        assert report.replan_searches.count >= 1
+        assert report.cold_searches.count >= 1
+        # Warm-started/cached replans must be cheaper than cold searches.
+        assert report.replan_searches.mean_seconds < report.cold_searches.mean_seconds
+
+    def test_invalid_failure_times_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFailure(time=-1.0, node=0)
+        with pytest.raises(ValueError):
+            NodeFailure(time=5.0, node=0, recovery_time=5.0)
+
+    def test_utilization_bounded_when_work_outlives_last_completion(self):
+        # "short" completes early; "long" runs past that completion and is
+        # then killed by a permanent whole-cluster failure.  Its GPU time
+        # must widen the utilization denominator, not push it past 100%.
+        jobs = [
+            tiny_job("short", target_iterations=3),
+            tiny_job("long", target_iterations=100),
+        ]
+        failures = [NodeFailure(time=80.0, node=0), NodeFailure(time=80.0, node=1)]
+        report = schedule_trace(
+            make_cluster(16), jobs, policy="first_fit", config=TINY, failures=failures
+        )
+        assert not report.all_completed
+        assert report.busy_horizon > report.makespan
+        assert 0.0 < report.gpu_utilization <= 1.0
+
+
+class TestUnplaceableJobs:
+    def test_memory_infeasible_job_is_dropped(self):
+        # A 70B actor cannot fit on a single 8-GPU node at batch 512.
+        jobs = [
+            JobSpec(
+                name="huge",
+                actor_size="70b",
+                critic_size="7b",
+                batch_size=512,
+                target_iterations=2,
+                min_gpus=8,
+                max_gpus=8,
+            ),
+            tiny_job("ok"),
+        ]
+        report = schedule_trace(make_cluster(8), jobs, policy="first_fit", config=TINY)
+        phases = {j.name: j.phase for j in report.jobs}
+        assert phases["ok"] == JobPhase.COMPLETED.value
+        assert phases["huge"] == JobPhase.UNPLACEABLE.value
+        assert not report.all_completed
+
+
+class TestStaticEqualBaseline:
+    def test_static_slots_never_resize(self):
+        jobs = [
+            tiny_job("short", target_iterations=2),
+            tiny_job("long", target_iterations=10, max_gpus=16),
+        ]
+        report = schedule_trace(
+            make_cluster(16), jobs, policy=StaticEqualPolicy(n_slots=2), config=TINY
+        )
+        assert report.all_completed
+        assert report.n_resizes == 0
+        assert report.policy == "static_equal"

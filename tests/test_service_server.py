@@ -238,3 +238,98 @@ class TestEstimatorSharing:
     def test_estimator_cache_size_validation(self):
         with pytest.raises(ValueError):
             PlanService(estimator_cache_size=0)
+
+
+class TestLifecycle:
+    def test_close_flushes_persistent_cache(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        service = PlanService(max_workers=1, persist_path=path)
+        service.plan(_request(max_iterations=20))
+        # Sabotage the file written eagerly by put(), then close: the final
+        # flush must rewrite it so no cached plan is lost on exit.
+        (tmp_path / "plans.json").write_text("{}")
+        service.close()
+        reloaded = PlanService(max_workers=1, persist_path=path)
+        try:
+            assert len(reloaded.cache) == 1
+        finally:
+            reloaded.close()
+
+    def test_close_is_idempotent_and_blocks_submissions(self):
+        service = PlanService(max_workers=1)
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(_request(max_iterations=10))
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        with PlanService(max_workers=1, persist_path=path) as service:
+            service.plan(_request(max_iterations=20))
+        assert (tmp_path / "plans.json").exists()
+        with pytest.raises(RuntimeError):
+            service.submit(_request(max_iterations=10))
+
+    def test_owning_client_close_flushes(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        client = PlanClient(max_workers=1, persist_path=path)
+        client.plan_algorithm(
+            "ppo", "7b", "7b", n_gpus=8, batch_size=64,
+            search=SearchConfig(max_iterations=20, record_history=False),
+        )
+        (tmp_path / "plans.json").write_text("{}")
+        client.close()
+        reloaded = PlanService(max_workers=1, persist_path=path)
+        try:
+            assert len(reloaded.cache) == 1
+        finally:
+            reloaded.close()
+
+    def test_borrowing_client_close_keeps_service_open(self):
+        service = PlanService(max_workers=1)
+        client = PlanClient(service=service)
+        client.close()
+        service.plan(_request(max_iterations=10))  # still usable
+        service.close()
+
+
+class TestServiceStatsDict:
+    def test_to_dict_is_machine_readable(self, service):
+        service.plan(_request(max_iterations=20))
+        service.plan(_request(max_iterations=20))
+        data = service.stats.snapshot().to_dict()
+        assert data["requests"] == 2
+        assert data["cache_hits"] == 1
+        assert data["cache_misses"] == 1
+        assert data["hit_rate"] == pytest.approx(0.5)
+        assert isinstance(data["search_seconds"], float)
+
+
+class TestFeasibility:
+    def test_feasible_plan_reports_peak_memory(self, service):
+        response = service.plan(_request(max_iterations=50))
+        assert response.peak_memory_bytes > 0
+        assert response.feasible
+        # The cache hit carries the same verdict.
+        hit = service.plan(_request(max_iterations=50))
+        assert hit.stats.cache_hit
+        assert hit.peak_memory_bytes == response.peak_memory_bytes
+        assert hit.feasible
+
+    def test_oom_plan_marked_infeasible(self, service):
+        # A 70B actor on a single 8-GPU node cannot fit; with static-OOM
+        # pruning disabled the search still returns a plan, which the
+        # response must flag as infeasible.
+        from repro.algorithms import build_ppo_graph
+        from repro.core import PruneConfig
+
+        request = PlanRequest(
+            graph=build_ppo_graph(),
+            workload=instructgpt_workload("70b", "7b", batch_size=512),
+            cluster=make_cluster(8),
+            search=SearchConfig(max_iterations=30, record_history=False),
+            prune=PruneConfig(prune_static_oom=False),
+        )
+        response = service.plan(request)
+        assert not response.feasible
+        assert response.peak_memory_bytes >= request.cluster.device_memory_bytes

@@ -1,0 +1,103 @@
+"""Property tests: cross-cluster warm-start adaptation yields admissible plans.
+
+The scheduler (and any shrinking cluster) relies on
+:func:`repro.service.warm_start.adapt_plan` projecting a cached plan onto a
+*smaller* cluster.  These tests check the adaptation contract for the PPO and
+GRPO graphs: whenever every call has at least one pruned allocation option on
+the target cluster, the adapted plan exists, covers the graph, uses only
+admissible options (so it respects the per-call static memory cap encoded by
+``PruneConfig.prune_static_oom``) and only meshes that fit the target
+cluster's shape.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import build_grpo_graph, build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import (
+    PruneConfig,
+    SearchConfig,
+    allocation_options,
+    instructgpt_workload,
+    search_execution_plan,
+)
+from repro.service import PlanCacheEntry, adapt_plan, fingerprint_request
+
+_GRAPHS = {"ppo": build_ppo_graph, "grpo": build_grpo_graph}
+_SEARCH = SearchConfig(max_iterations=10, time_budget_s=0.3, record_history=False)
+
+
+def _cached_entry(graph, workload, cluster):
+    """A genuine cache entry: short search on the source cluster."""
+    result = search_execution_plan(graph, workload, cluster, config=_SEARCH)
+    fingerprint = fingerprint_request(graph, workload, cluster, _SEARCH)
+    return PlanCacheEntry.from_search_result(fingerprint, result, cluster)
+
+
+def _assert_admissible(plan, graph, cluster, options):
+    plan.validate(graph, cluster)  # covers the graph, meshes fit the cluster
+    for call_name, alloc in plan.items():
+        choices = options[call_name]
+        assert alloc in choices, (
+            f"{call_name} adapted to an allocation outside the pruned options "
+            f"of the target cluster"
+        )
+        # Within the cluster's mesh-shape rules and memory-capped options.
+        assert alloc.mesh.device_id_set <= set(range(cluster.n_gpus))
+
+
+@pytest.mark.parametrize("algorithm", sorted(_GRAPHS))
+@settings(max_examples=8, deadline=None)
+@given(
+    src_nodes=st.integers(min_value=2, max_value=3),
+    dst_nodes=st.integers(min_value=1, max_value=2),
+    batch_size=st.sampled_from([32, 64]),
+)
+def test_adapted_plan_is_admissible_on_smaller_cluster(
+    algorithm, src_nodes, dst_nodes, batch_size
+):
+    graph = _GRAPHS[algorithm]()
+    workload = instructgpt_workload("7b", "7b", batch_size=batch_size)
+    src_cluster = make_cluster(src_nodes * 8)
+    dst_cluster = make_cluster(min(dst_nodes, src_nodes) * 8)
+    entry = _cached_entry(graph, workload, src_cluster)
+    options = allocation_options(graph, workload, dst_cluster, PruneConfig())
+    plan = adapt_plan(entry, graph, dst_cluster, options)
+    if any(not options.get(name) for name in graph.call_names):
+        assert plan is None
+        return
+    assert plan is not None
+    _assert_admissible(plan, graph, dst_cluster, options)
+
+
+@pytest.mark.parametrize("algorithm", sorted(_GRAPHS))
+@pytest.mark.parametrize("dst_width", [2, 4, 8])
+def test_adaptation_to_sub_node_slices(algorithm, dst_width):
+    """Shrinking onto a sub-node partition (the scheduler's smallest shapes)."""
+    graph = _GRAPHS[algorithm]()
+    workload = instructgpt_workload("7b", "7b", batch_size=32)
+    src_cluster = make_cluster(16)
+    dst_cluster = make_cluster(dst_width, gpus_per_node=dst_width)
+    entry = _cached_entry(graph, workload, src_cluster)
+    options = allocation_options(graph, workload, dst_cluster, PruneConfig())
+    plan = adapt_plan(entry, graph, dst_cluster, options)
+    if any(not options.get(name) for name in graph.call_names):
+        assert plan is None
+        return
+    assert plan is not None
+    _assert_admissible(plan, graph, dst_cluster, options)
+
+
+@pytest.mark.parametrize("algorithm", sorted(_GRAPHS))
+def test_same_shape_adaptation_is_identity(algorithm):
+    graph = _GRAPHS[algorithm]()
+    workload = instructgpt_workload("7b", "7b", batch_size=32)
+    cluster = make_cluster(16)
+    entry = _cached_entry(graph, workload, cluster)
+    options = allocation_options(graph, workload, cluster, PruneConfig())
+    plan = adapt_plan(entry, graph, cluster, options)
+    assert plan is not None
+    source = entry.plan(cluster)
+    assert {name: alloc for name, alloc in plan.items()} == dict(source.assignments)
