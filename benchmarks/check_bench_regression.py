@@ -1,0 +1,108 @@
+"""Fail-soft perf-regression check over committed ``BENCH_*.json`` baselines.
+
+Compares the metrics of a freshly produced benchmark report against the
+committed baseline and reports every metric that moved more than the
+threshold in the *bad* direction (each metric declares its own
+``higher_is_better``).  The check is **fail-soft** by design: benchmark
+machines differ (the committed baselines come from a dev box, CI runners
+vary run to run), so regressions are reported as warnings and the exit code
+stays 0 unless ``--strict`` is given.  When baseline and current reports
+were produced in different modes (``smoke`` vs ``full``), the tolerance is
+doubled — shorter runs amortise fixed overheads differently.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/BENCH_search_scaling.baseline.json \
+        --current  BENCH_search_scaling.json [--threshold 0.2] [--strict]
+
+Multiple ``--baseline/--current`` pairs can be checked by repeating the
+invocation per file; any report following the ``{"metrics": {name:
+{"value": v, "higher_is_better": b}}}`` convention works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def compare(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+) -> List[str]:
+    """Return one human-readable line per regressed metric."""
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    if baseline.get("mode") != current.get("mode"):
+        threshold = threshold * 2
+    regressions: List[str] = []
+    for name, base_entry in sorted(base_metrics.items()):
+        cur_entry = cur_metrics.get(name)
+        if cur_entry is None:
+            regressions.append(f"{name}: present in baseline but missing now")
+            continue
+        base_value = float(base_entry["value"])
+        cur_value = float(cur_entry["value"])
+        higher_is_better = bool(base_entry.get("higher_is_better", True))
+        if base_value == 0:
+            continue
+        change = (cur_value - base_value) / abs(base_value)
+        regressed = change < -threshold if higher_is_better else change > threshold
+        if regressed:
+            direction = "dropped" if higher_is_better else "rose"
+            regressions.append(
+                f"{name}: {direction} {abs(change) * 100:.1f}% "
+                f"({base_value:.4g} -> {cur_value:.4g}, tolerance {threshold * 100:.0f}%)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON report")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly produced JSON report")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression tolerance (default 0.2 = 20%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on regressions (default: warn only)")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare (first run?)")
+        return 0
+    if not args.current.exists():
+        print(f"current report {args.current} missing — benchmark did not run?")
+        return 1 if args.strict else 0
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    regressions = compare(baseline, current, args.threshold)
+    label = f"{current.get('benchmark', args.current.name)}"
+    if not regressions:
+        print(
+            f"perf check OK: {label} within {args.threshold * 100:.0f}% of baseline "
+            f"(baseline mode={baseline.get('mode')}, current mode={current.get('mode')})"
+        )
+        return 0
+    print(f"PERF REGRESSION WARNING: {label} vs committed baseline")
+    for line in regressions:
+        print(f"  - {line}")
+    if not args.strict:
+        print("(fail-soft: benchmark machines differ; investigate before trusting)")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceMesh:
     """A rectangular group of GPUs within a :class:`ClusterSpec`.
 

@@ -16,11 +16,19 @@ from .call_cost import CallCostModel, CostBreakdown
 from .dataflow import DataflowGraph, FunctionCallType, ModelFunctionCall
 from .estimator import (
     DEFAULT_OOM_PENALTY,
+    EvalCacheStats,
     MemoryEstimate,
     RuntimeEstimator,
     TimeCostResult,
 )
 from .parallel import ParallelStrategy, enumerate_strategies, factorize_3d
+from .parallel_search import (
+    GLOBAL_CORE_BUDGET,
+    ChainResult,
+    ChainSpec,
+    CoreBudget,
+    ParallelSearchRunner,
+)
 from .plan import (
     Allocation,
     DataTransferEdge,
@@ -71,6 +79,7 @@ __all__ = [
     "RuntimeEstimator",
     "TimeCostResult",
     "MemoryEstimate",
+    "EvalCacheStats",
     "DEFAULT_OOM_PENALTY",
     # profiler
     "Profiler",
@@ -89,6 +98,12 @@ __all__ = [
     "search_execution_plan",
     "BruteForceResult",
     "brute_force_search",
+    # parallel search / core governor
+    "CoreBudget",
+    "GLOBAL_CORE_BUDGET",
+    "ChainSpec",
+    "ChainResult",
+    "ParallelSearchRunner",
     # api
     "GENERATE",
     "INFERENCE",

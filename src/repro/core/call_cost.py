@@ -26,7 +26,7 @@ from .workload import CallWorkload
 __all__ = ["CostBreakdown", "CallCostModel"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CostBreakdown:
     """Wall-time decomposition of a function call (seconds, per iteration).
 

@@ -29,6 +29,8 @@ the test suite).
 from __future__ import annotations
 
 import heapq
+from array import array
+from bisect import insort, bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -44,7 +46,13 @@ from .plan import Allocation, ExecutionPlan
 from .profiler import AnalyticalProvider, LayerTimeProvider, ProfileStats, ProfiledProvider
 from .workload import RLHFWorkload
 
-__all__ = ["TimeCostResult", "MemoryEstimate", "RuntimeEstimator", "DEFAULT_OOM_PENALTY"]
+__all__ = [
+    "TimeCostResult",
+    "MemoryEstimate",
+    "EvalCacheStats",
+    "RuntimeEstimator",
+    "DEFAULT_OOM_PENALTY",
+]
 
 DEFAULT_OOM_PENALTY = 100.0
 """The large integer alpha multiplying the time cost of OOM-ing plans."""
@@ -53,10 +61,45 @@ _MAX_PLAN_STATES = 32
 """How many per-plan component states the estimator keeps around (LRU)."""
 
 _MAX_PLAN_EVALS = 16384
-"""How many evaluated (TimeCost, MaxMem) pairs to memoise by plan signature."""
+"""Default LRU capacity of the signature-keyed (TimeCost, MaxMem) eval cache."""
+
+_MAX_INTERNED_ALLOCS = 65536
+"""How many allocation objects to keep in the key-interning identity map."""
 
 
-@dataclass
+@dataclass(slots=True)
+class EvalCacheStats:
+    """Counters of the signature-keyed eval cache (hits/misses/evictions).
+
+    Long-lived estimators (e.g. inside a :class:`~repro.service.server.PlanService`)
+    used to grow this cache without bound; it is now a capped LRU and these
+    counters make its behaviour observable.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(slots=True)
 class TimeCostResult:
     """Result of the Algorithm-1 simulation of one RLHF iteration."""
 
@@ -73,7 +116,7 @@ class TimeCostResult:
         return sum(b.compute for b in self.breakdowns.values())
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryEstimate:
     """Peak memory usage per GPU and in aggregate."""
 
@@ -91,7 +134,7 @@ class MemoryEstimate:
         return max(self.static_per_gpu.values(), default=0.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PlanState:
     """Memoised per-component state of one concrete plan.
 
@@ -99,6 +142,8 @@ class _PlanState:
     with the expensive per-call/per-edge quantities already resolved.  All
     fields are flat lists indexed by call id (or edge id), so a single-call
     move is a handful of C-speed ``list.copy()`` calls plus point updates.
+    ``__slots__`` keeps the per-state footprint flat: the MCMC chain creates
+    one of these per proposal.
     """
 
     durations: List[float]
@@ -136,6 +181,11 @@ class RuntimeEstimator:
     cross_check:
         Verify every fast-path evaluation against a full recompute and raise
         ``RuntimeError`` on any mismatch.  Slow; meant for tests.
+    eval_cache_size:
+        LRU capacity of the signature-keyed (TimeCost, MaxMem) eval cache.
+        Bounded so long-lived estimators (e.g. held by a plan service) cannot
+        grow without limit; ``eval_cache_stats`` exposes hit/miss/eviction
+        counters.
 
     The memo caches are plain dicts holding values of pure functions, so
     concurrent use from several threads (e.g. the plan service's worker pool)
@@ -151,10 +201,16 @@ class RuntimeEstimator:
         use_cuda_graph: bool = True,
         use_cache: bool = True,
         cross_check: bool = False,
+        eval_cache_size: int = _MAX_PLAN_EVALS,
     ) -> None:
+        if eval_cache_size < 1:
+            raise ValueError(f"eval_cache_size must be >= 1, got {eval_cache_size}")
         self.graph = graph
         self.workload = workload
         self.cluster = cluster
+        # Kept verbatim so an equivalent estimator can be re-created in a
+        # worker process (see repro.core.parallel_search.ChainProblem).
+        self.profiles = dict(profiles) if profiles is not None else None
         self.use_cuda_graph = use_cuda_graph
         self.use_cache = use_cache
         self.cross_check = cross_check
@@ -182,16 +238,33 @@ class RuntimeEstimator:
         self._parents: Dict[str, List[str]] = graph.parents_map()
         self._children: Dict[str, List[str]] = graph.children_map()
         self._edges: List[Tuple[str, str]] = list(graph.edges)
-        # Per call id: outgoing (child id, edge id) pairs; per call: the edge
-        # ids the call participates in (what a move can invalidate).
-        self._out_edges: List[List[Tuple[int, int]]] = [[] for _ in self._call_names]
-        self._incident_edge_ids: List[List[int]] = [[] for _ in self._call_names]
+        # Outgoing adjacency in CSR form (array-backed): the children and edge
+        # ids of call ``i`` live at positions [_out_ptr[i], _out_ptr[i+1]) of
+        # the flat ``_out_child``/``_out_edge`` arrays — no per-call tuple
+        # lists to chase in the simulation's inner loop.  Per call we also
+        # keep the edge ids the call participates in (what a move can
+        # invalidate).
+        out_pairs: List[List[Tuple[int, int]]] = [[] for _ in self._call_names]
+        incident: List[List[int]] = [[] for _ in self._call_names]
         for edge_id, (src, dst) in enumerate(self._edges):
             src_id, dst_id = self._call_index[src], self._call_index[dst]
-            self._out_edges[src_id].append((dst_id, edge_id))
-            self._incident_edge_ids[src_id].append(edge_id)
+            out_pairs[src_id].append((dst_id, edge_id))
+            incident[src_id].append(edge_id)
             if dst_id != src_id:
-                self._incident_edge_ids[dst_id].append(edge_id)
+                incident[dst_id].append(edge_id)
+        self._out_ptr = array("l", [0] * (len(self._call_names) + 1))
+        out_child: List[int] = []
+        out_edge: List[int] = []
+        for call_id, pairs in enumerate(out_pairs):
+            for child_id, edge_id in pairs:
+                out_child.append(child_id)
+                out_edge.append(edge_id)
+            self._out_ptr[call_id + 1] = len(out_child)
+        self._out_child = array("l", out_child)
+        self._out_edge = array("l", out_edge)
+        self._incident_edge_ids: List[Tuple[int, ...]] = [
+            tuple(edge_ids) for edge_ids in incident
+        ]
         self._model_calls: Dict[str, List[str]] = {
             m: [c.name for c in graph.calls_of_model(m)] for m in graph.model_names()
         }
@@ -215,16 +288,29 @@ class RuntimeEstimator:
         self._mem_cache: Dict[Tuple, Tuple[float, float, float]] = {}
         self._states: "OrderedDict[Tuple, _PlanState]" = OrderedDict()
         self._sig_memo: Tuple[Optional[ExecutionPlan], Tuple] = (None, ())
-        self._eval_cache: Dict[Tuple, Tuple[float, float]] = {}
+        self._eval_cache: "OrderedDict[Tuple, Tuple[float, float]]" = OrderedDict()
+        self._eval_cache_size = int(eval_cache_size)
+        self.eval_cache_stats = EvalCacheStats()
+        # Allocation-key interning: option tables hold a fixed population of
+        # Allocation objects that get keyed millions of times per search, so
+        # the key of each *object* (by id) is remembered and value-equal keys
+        # collapse onto one shared tuple.  Each entry stores ``(alloc, key)``
+        # together: the stored reference pins the object so its id cannot be
+        # recycled while its memo entry lives, and keeping pin and key in one
+        # dict value means a concurrent overflow ``clear()`` can only drop
+        # whole entries (forcing a recompute), never leave a key behind for a
+        # recycled id.
+        self._alloc_key_by_id: Dict[int, Tuple[Allocation, Tuple]] = {}
+        self._key_intern: Dict[Tuple, Tuple] = {}
         # Simulation constants: indegrees and the initial ready heap.  Heap
         # entries carry the call's alphabetical rank so equal-ready-time ties
         # resolve exactly as they would with ``(time, name)`` keys.
-        self._parent_counts: List[int] = [
-            len(self._parents[name]) for name in self._call_names
-        ]
+        self._parent_counts = array(
+            "l", [len(self._parents[name]) for name in self._call_names]
+        )
         rank_order = sorted(range(len(self._call_names)), key=self._call_names.__getitem__)
-        self._rank_to_id: List[int] = rank_order
-        self._rank_of: List[int] = [0] * len(rank_order)
+        self._rank_to_id = array("l", rank_order)
+        self._rank_of = array("l", [0] * len(rank_order))
         for rank, call_id in enumerate(rank_order):
             self._rank_of[call_id] = rank
         self._root_heap: List[Tuple[float, int]] = sorted(
@@ -278,14 +364,33 @@ class RuntimeEstimator:
             parallel.tp,
         )
 
+    def _key_for(self, alloc: Allocation) -> Tuple:
+        """Interned allocation key: one shared tuple per distinct allocation.
+
+        Plans reference the fixed Allocation population of the searcher's
+        option table, so keying by object identity turns the 9-attribute
+        tuple build into a single dict lookup on the hot path.  The memo is
+        bounded; overflowing it (pathological churn of fresh Allocation
+        objects) just resets the identity map, never the interned values.
+        """
+        entry = self._alloc_key_by_id.get(id(alloc))
+        if entry is not None:
+            return entry[1]
+        raw = self._alloc_key(alloc)
+        key = self._key_intern.setdefault(raw, raw)
+        if len(self._alloc_key_by_id) >= _MAX_INTERNED_ALLOCS:
+            self._alloc_key_by_id.clear()
+        self._alloc_key_by_id[id(alloc)] = (alloc, key)
+        return key
+
     def _plan_signature(self, plan: ExecutionPlan) -> Tuple:
         # The same plan object is typically queried many times in a row (the
         # MCMC chain's current plan); memoise the last signature by identity.
         memo_plan, memo_sig = self._sig_memo
         if plan is memo_plan:
             return memo_sig
-        alloc_key = self._alloc_key
-        signature = tuple(alloc_key(plan[name]) for name in self._call_names)
+        key_for = self._key_for
+        signature = tuple(key_for(plan[name]) for name in self._call_names)
         self._sig_memo = (plan, signature)
         return signature
 
@@ -309,7 +414,7 @@ class RuntimeEstimator:
         """
         if not self.use_cache:
             return self._compute_breakdown(call_name, alloc)
-        key = (call_name,) + self._alloc_key(alloc)
+        key = (call_name,) + self._key_for(alloc)
         cached = self._breakdown_cache.get(key)
         if cached is None:
             cached = self._compute_breakdown(call_name, alloc)
@@ -320,7 +425,7 @@ class RuntimeEstimator:
         """Wall time of one call under an allocation (memoised)."""
         if not self.use_cache:
             return self._compute_breakdown(call_name, alloc).total
-        key = (call_name,) + self._alloc_key(alloc)
+        key = (call_name,) + self._key_for(alloc)
         cached = self._call_time_cache.get(key)
         if cached is not None:
             return cached
@@ -614,14 +719,14 @@ class RuntimeEstimator:
         rpc_overhead = self.cluster.rpc_overhead_s
         n_calls = len(durations)
         ready_time: List[float] = [0.0] * n_calls
-        remaining_parents: List[int] = self._parent_counts.copy()
+        remaining_parents = self._parent_counts[:]
         gpu_free: List[float] = [0.0] * self.cluster.n_gpus
         spans: Dict[str, Tuple[float, float]] = {}
         done: List[bool] = [False] * n_calls
         n_done = 0
         total = 0.0
         rank_to_id, rank_of = self._rank_to_id, self._rank_of
-        out_edges = self._out_edges
+        out_ptr, out_child, out_edge = self._out_ptr, self._out_child, self._out_edge
         heappop, heappush = heapq.heappop, heapq.heappush
         heap: List[Tuple[float, int]] = self._root_heap.copy()
 
@@ -641,8 +746,9 @@ class RuntimeEstimator:
             done[call_id] = True
             n_done += 1
             gpu_free[lo:hi] = [end] * (hi - lo)
-            for child_id, edge_id in out_edges[call_id]:
-                ready = end + transfers[edge_id]
+            for k in range(out_ptr[call_id], out_ptr[call_id + 1]):
+                child_id = out_child[k]
+                ready = end + transfers[out_edge[k]]
                 if ready > ready_time[child_id]:
                     ready_time[child_id] = ready
                 remaining = remaining_parents[child_id] - 1
@@ -711,35 +817,47 @@ class RuntimeEstimator:
         return per_gpu, static
 
     def _max_bytes_sweep(self, state: _PlanState) -> float:
-        """Peak per-GPU bytes via a sweep over mesh-span boundaries.
+        """Peak per-GPU bytes via an event sweep over mesh-span boundaries.
 
         Every GPU inside one elementary segment (between two consecutive
         mesh boundaries) hosts exactly the same set of calls, so evaluating
-        one representative GPU per segment gives the cluster-wide peak in
-        ``O(calls^2)`` instead of ``O(calls * gpus)``.  Contributions are
-        combined in the same (call) order as :meth:`_aggregate_memory`, so
-        the result is bit-for-bit identical to ``max(per_gpu)``.
+        one representative GPU per segment gives the cluster-wide peak.
+        Spans enter/leave a sorted *active set* at their boundary events, so
+        each segment only touches the calls actually covering it —
+        ``O(n log n)`` for the event queue plus the covering-call totals,
+        instead of re-scanning all ``n`` calls per boundary (the previous
+        ``O(calls^2)`` sweep).  The active set is kept in ascending call-id
+        order and contributions are combined exactly as
+        :meth:`_aggregate_memory` combines them (ascending call id), so the
+        result is bit-for-bit identical to ``max(per_gpu)``.
         """
         spans = state.mesh_spans
-        bounds = sorted({b for span in spans for b in span})
-        max_bytes = 0.0
-        n_calls = len(spans)
         mem = state.mem
         model_by_id = self._model_by_id
-        for lo in bounds[:-1]:
+        starts: Dict[int, List[int]] = {}
+        stops: Dict[int, List[int]] = {}
+        for call_id, (lo, hi) in enumerate(spans):
+            starts.setdefault(lo, []).append(call_id)
+            stops.setdefault(hi, []).append(call_id)
+        bounds = sorted(starts.keys() | stops.keys())
+        active_ids: List[int] = []
+        max_bytes = 0.0
+        for boundary in bounds[:-1]:
+            for call_id in stops.get(boundary, ()):
+                del active_ids[bisect_left(active_ids, call_id)]
+            for call_id in starts.get(boundary, ()):
+                insort(active_ids, call_id)
             static = 0.0
             active = 0.0
             params: Dict[str, float] = {}
-            for call_id in range(n_calls):
-                mlo, mhi = spans[call_id]
-                if mlo <= lo < mhi:
-                    call_static, param_bytes, call_active = mem[call_id]
-                    static += call_static
-                    model = model_by_id[call_id]
-                    if params.get(model, -1.0) < param_bytes:
-                        params[model] = param_bytes
-                    if call_active > active:
-                        active = call_active
+            for call_id in active_ids:
+                call_static, param_bytes, call_active = mem[call_id]
+                static += call_static
+                model = model_by_id[call_id]
+                if params.get(model, -1.0) < param_bytes:
+                    params[model] = param_bytes
+                if call_active > active:
+                    active = call_active
             param_sum = 0.0
             for nbytes in params.values():
                 param_sum += nbytes
@@ -773,16 +891,33 @@ class RuntimeEstimator:
 
         The MCMC chain re-proposes the same neighbouring plans many times;
         a signature hit skips the state construction and simulation outright.
+        The cache is a capped LRU (``eval_cache_size``) with hit/miss/
+        eviction counters in :attr:`eval_cache_stats`, so a long-lived
+        estimator cannot grow without bound.
         """
+        stats = self.eval_cache_stats
         cached = self._eval_cache.get(signature)
         if cached is not None:
+            stats.hits += 1
+            try:
+                self._eval_cache.move_to_end(signature)
+            except KeyError:
+                # A concurrent insert evicted the entry between the get and
+                # the LRU touch; the cached value remains valid.
+                pass
             return cached
+        stats.misses += 1
         state = state_fn()
         total, _ = self._simulate(state)
         max_bytes = self._max_bytes_sweep(state)
-        if len(self._eval_cache) >= _MAX_PLAN_EVALS:
-            self._eval_cache.clear()
         self._eval_cache[signature] = (total, max_bytes)
+        while len(self._eval_cache) > self._eval_cache_size:
+            try:
+                self._eval_cache.popitem(last=False)
+                stats.evictions += 1
+            except KeyError:
+                # Another thread emptied the LRU past us; nothing to evict.
+                break
         return total, max_bytes
 
     def _exact_cost(self, plan: ExecutionPlan, oom_penalty: float) -> float:
@@ -836,7 +971,7 @@ class RuntimeEstimator:
             return self.cost(plan.with_assignment(call_name, new_alloc), oom_penalty)
         signature = self._plan_signature(plan)
         index = self._call_index[call_name]
-        new_key = self._alloc_key(new_alloc)
+        new_key = self._key_for(new_alloc)
         moved_signature = signature[:index] + (new_key,) + signature[index + 1 :]
 
         def build() -> _PlanState:

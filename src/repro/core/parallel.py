@@ -18,7 +18,7 @@ from ..model.config import ModelConfig
 __all__ = ["ParallelStrategy", "enumerate_strategies", "factorize_3d"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParallelStrategy:
     """Degrees of data, tensor and pipeline parallelism.
 

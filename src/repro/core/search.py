@@ -9,11 +9,19 @@ random function call, and keeps the lowest-cost plan ever visited.
 
 Proposals are scored through the estimator's incremental
 :meth:`~repro.core.estimator.RuntimeEstimator.cost_delta` path (a proposal
-changes exactly one call's allocation), and the wall-clock budget can be
-split across several independent Metropolis-Hastings chains
-(``SearchConfig.n_chains``): each chain starts from the same best initial
-candidate but explores with its own RNG stream, and the returned result is
-the best plan over all chains with their histories merged.
+changes exactly one call's allocation).  ``SearchConfig.n_chains`` runs
+several *independent* Metropolis-Hastings chains: every chain starts from the
+same best initial candidate, explores with its own RNG stream, keeps its own
+running best (for the normalised acceptance temperature) and receives the
+**full** wall-clock budget; the iteration budget is split evenly across
+chains.  Because chains share no mutable state, they can execute either
+in-process (one after another) or on worker processes
+(:mod:`repro.core.parallel_search`) — whenever the *iteration* budget binds,
+both modes produce bit-identical best plans and costs for the same seeds, so
+parallelism only changes wall-clock time, never results.  (A binding *time*
+budget makes any run timing-dependent — two sequential runs under machine
+load already differ — so time-bounded searches are best-effort in every
+execution mode.)
 """
 
 from __future__ import annotations
@@ -28,11 +36,22 @@ import numpy as np
 from ..cluster.hardware import ClusterSpec
 from .dataflow import DataflowGraph
 from .estimator import DEFAULT_OOM_PENALTY, RuntimeEstimator
+from .parallel_search import (
+    GLOBAL_CORE_BUDGET,
+    ChainResult,
+    ChainSpec,
+    CoreBudget,
+    ParallelSearchRunner,
+    min_parallel_budget_s,
+    min_parallel_chain_iters,
+)
 from .plan import Allocation, ExecutionPlan
 from .pruning import PruneConfig, allocation_options, search_space_size
 from .workload import RLHFWorkload
 
 __all__ = ["SearchConfig", "SearchResult", "MCMCSearcher", "search_execution_plan"]
+
+_PARALLEL_MODES = ("auto", "process", "off")
 
 
 @dataclass(frozen=True)
@@ -40,11 +59,11 @@ class SearchConfig:
     """Hyper-parameters of the Metropolis-Hastings search.
 
     ``beta`` is the sampling temperature applied to the *normalised* cost
-    (cost divided by the initial plan's cost), which keeps acceptance rates
-    comparable across experiment scales.  The search stops after
-    ``max_iterations`` proposals or ``time_budget_s`` wall-clock seconds,
-    whichever comes first; both budgets are shared evenly across
-    ``n_chains`` independent chains.
+    (cost divided by the chain's best cost so far), which keeps acceptance
+    rates comparable across experiment scales.  Each of the ``n_chains``
+    chains stops after its share of ``max_iterations`` proposals (split
+    evenly) or after ``time_budget_s`` wall-clock seconds of its own,
+    whichever comes first.
     """
 
     beta: float = 8.0
@@ -55,13 +74,26 @@ class SearchConfig:
     record_history: bool = True
     n_chains: int = 1
     """Number of independent Metropolis-Hastings chains.  Each chain uses its
-    own RNG stream and an even share of the iteration/time budget; the search
-    returns the best plan over all chains with merged history."""
+    own RNG stream, an even share of the iteration budget and the **full**
+    wall-clock budget; the search returns the best plan over all chains with
+    merged history."""
+    parallel: str = "auto"
+    """Chain execution mode: ``"auto"`` runs chains on worker processes when
+    the search is big enough and the core-budget governor grants cores,
+    ``"process"`` always uses worker processes, ``"off"`` always runs chains
+    in-process.  The mode never changes the result (chains are deterministic
+    given their seeds), so it is excluded from workload fingerprints."""
     initial_plan: Optional[ExecutionPlan] = None
     """Optional warm-start hint: evaluated alongside the greedy plan and any
     seed plans, so the chain starts from the best available candidate.  The
     hint never hurts — the search result is at least as good as the hint's
     cost.  Excluded from workload fingerprints (see :mod:`repro.service`)."""
+
+    def __post_init__(self) -> None:
+        if self.parallel not in _PARALLEL_MODES:
+            raise ValueError(
+                f"parallel must be one of {_PARALLEL_MODES}, got {self.parallel!r}"
+            )
 
 
 @dataclass
@@ -75,10 +107,27 @@ class SearchResult:
     n_iterations: int
     n_accepted: int
     elapsed_seconds: float
+    """True wall-clock time of the whole search, including initial-candidate
+    evaluation and (for parallel runs) worker pool start-up — *not* the sum
+    of per-chain times."""
     history: List[Tuple[int, float, float]] = field(default_factory=list)
-    """``(iteration, elapsed_seconds, best_cost_so_far)`` samples."""
+    """``(iteration, chain_elapsed_seconds, best_cost_so_far)`` samples.
+    Iterations number chains back to back (chain-major); elapsed times are
+    chain-local (measured from each chain's own start)."""
     search_space: float = 0.0
     n_chains: int = 1
+    cpu_seconds: float = 0.0
+    """Summed per-chain CPU time (``time.process_time``).  For sequential
+    runs this tracks ``elapsed_seconds``; for parallel runs it is the compute
+    actually spent across worker processes."""
+    chain_wall_seconds: List[float] = field(default_factory=list)
+    """Per-chain wall-clock seconds, in chain order."""
+    chain_cpu_seconds: List[float] = field(default_factory=list)
+    """Per-chain CPU seconds, in chain order."""
+    execution_mode: str = "sequential"
+    """How the chains ran: ``"sequential"`` (in-process) or ``"process"``."""
+    n_workers: int = 1
+    """Worker processes used (1 for sequential runs)."""
 
     @property
     def improvement_ratio(self) -> float:
@@ -91,6 +140,13 @@ class SearchResult:
     def acceptance_rate(self) -> float:
         """Fraction of accepted MCMC proposals."""
         return self.n_accepted / max(1, self.n_iterations)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """CPU seconds per wall second, normalised by workers (1.0 is ideal)."""
+        if self.elapsed_seconds <= 0 or self.n_workers <= 0:
+            return 0.0
+        return self.cpu_seconds / (self.elapsed_seconds * self.n_workers)
 
 
 class MCMCSearcher:
@@ -106,6 +162,7 @@ class MCMCSearcher:
         prune: PruneConfig = PruneConfig(),
         config: SearchConfig = SearchConfig(),
         seed_plans: Optional[Sequence[ExecutionPlan]] = None,
+        core_budget: Optional[CoreBudget] = None,
     ) -> None:
         self.graph = graph
         self.workload = workload
@@ -117,7 +174,7 @@ class MCMCSearcher:
         if missing:
             raise ValueError(f"no allocation options for calls: {sorted(missing)}")
         self.seed_plans = list(seed_plans or [])
-        self._rng = np.random.default_rng(config.seed)
+        self.core_budget = core_budget if core_budget is not None else GLOBAL_CORE_BUDGET
         # Per-call proposal indexes: options grouped by mesh, and the set of
         # (mesh, strategy) layouts available, so proposing a move never scans
         # the full option list comparing dataclasses.
@@ -203,6 +260,110 @@ class MCMCSearcher:
             plan.with_assignment(call_name, new_alloc), self.config.oom_penalty
         )
 
+    def _chain_rng(self, chain: int) -> np.random.Generator:
+        """Chain 0 keeps the classic single-chain stream (bit-compatible with
+        the pre-multi-chain searcher); further chains get independent streams."""
+        if chain == 0:
+            return np.random.default_rng(self.config.seed)
+        return np.random.default_rng([self.config.seed, chain])
+
+    def run_chain(
+        self,
+        chain: int,
+        start_plan: ExecutionPlan,
+        start_cost: float,
+        max_iterations: int,
+    ) -> ChainResult:
+        """Run one independent Metropolis-Hastings chain.
+
+        The chain's outcome is a pure function of the search problem, the
+        seed and ``chain`` — no wall-clock dependence except the time budget
+        cutoff — so running it in-process or in a worker process yields the
+        same result.  History samples are chain-local: iterations count from
+        1 and elapsed times are measured from the chain's own start.
+
+        With ``record_history=True`` the full sample list travels back from
+        worker processes (one tuple per iteration — identical in both
+        execution modes, which the determinism tests rely on); for very long
+        parallel runs prefer ``record_history=False`` to skip that pickle
+        traffic.
+        """
+        cfg = self.config
+        rng = self._chain_rng(chain)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        deadline = wall_start + cfg.time_budget_s
+        current, current_cost = start_plan, start_cost
+        best_plan, best_cost = start_plan, start_cost
+        history: List[Tuple[int, float, float]] = []
+        n_accepted = 0
+        iteration = 0
+        while iteration < max_iterations:
+            if time.perf_counter() > deadline:
+                break
+            iteration += 1
+            call_name, new_alloc = self._propose(current, rng)
+            proposal_cost = self._proposal_cost(current, call_name, new_alloc)
+            # Normalise the energy by the chain's best cost so far so the
+            # temperature stays meaningful across experiment scales and even
+            # when the initial plan is heavily OOM-penalised.  Chain-local on
+            # purpose: sharing the cross-chain best would entangle the chains
+            # and break sequential/parallel equivalence.
+            scale = max(best_cost, 1e-9)
+            delta = (proposal_cost - current_cost) / scale
+            accept = delta <= 0 or rng.random() < math.exp(-cfg.beta * delta)
+            if accept:
+                current = current.with_assignment(call_name, new_alloc)
+                current_cost = proposal_cost
+                n_accepted += 1
+                if current_cost < best_cost:
+                    best_plan, best_cost = current, current_cost
+            if cfg.record_history:
+                history.append(
+                    (iteration, time.perf_counter() - wall_start, best_cost)
+                )
+        return ChainResult(
+            chain=chain,
+            best_plan=best_plan,
+            best_cost=best_cost,
+            n_iterations=iteration,
+            n_accepted=n_accepted,
+            history=history,
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+        )
+
+    def _chain_specs(self, n_chains: int) -> List[ChainSpec]:
+        """Even split of the iteration budget (earlier chains take remainders)."""
+        base_iters, extra_iters = divmod(self.config.max_iterations, n_chains)
+        return [
+            ChainSpec(chain=chain, max_iterations=base_iters + (1 if chain < extra_iters else 0))
+            for chain in range(n_chains)
+        ]
+
+    def _estimator_portable(self) -> bool:
+        """Whether worker processes can rebuild an equivalent estimator.
+
+        :class:`ChainProblem` re-creates a plain :class:`RuntimeEstimator`
+        from its shipped configuration (profiles, cuda-graph, caching,
+        cross-check).  A custom estimator *subclass* (e.g. a benchmark's
+        reference implementation) cannot be reproduced that way, so its
+        searches always run chains in-process — wrong-cost-model plans would
+        be far worse than losing parallelism.
+        """
+        return type(self.estimator) is RuntimeEstimator
+
+    def _auto_parallel_worthwhile(self, specs: List[ChainSpec]) -> bool:
+        """Whether ``parallel="auto"`` should bother forking worker processes.
+
+        Tiny searches lose more to process start-up, option pickling and
+        estimator rebuilding than they gain, so they stay on the calling
+        thread.
+        """
+        if self.config.time_budget_s < min_parallel_budget_s():
+            return False
+        return max(spec.max_iterations for spec in specs) >= min_parallel_chain_iters()
+
     def search(self) -> SearchResult:
         """Run the Metropolis-Hastings chains and return the best plan found.
 
@@ -210,7 +371,9 @@ class MCMCSearcher:
         any seed plans supplied at construction time (e.g. the Megatron
         heuristic) and ``config.initial_plan``; the reported ``initial_plan``/
         ``initial_cost`` are that actual chain start, so the improvement ratio
-        reflects what the search itself achieved.
+        reflects what the search itself achieved.  Depending on
+        ``config.parallel`` and the core-budget governor, chains run either
+        in-process or on worker processes; the merged result is identical.
         """
         cfg = self.config
         start_time = time.perf_counter()
@@ -226,56 +389,85 @@ class MCMCSearcher:
         # Report the actual chain start (greedy, seed or warm-start hint —
         # whichever won), not unconditionally the greedy plan.
         initial_plan, initial_cost = start_plan, start_cost
-        best_plan, best_cost = start_plan, start_cost
 
         n_chains = max(1, int(cfg.n_chains))
-        chain_budget = cfg.time_budget_s / n_chains
-        base_iters, extra_iters = divmod(cfg.max_iterations, n_chains)
+        specs = self._chain_specs(n_chains)
 
+        results: Optional[List[ChainResult]] = None
+        execution_mode = "sequential"
+        n_workers = 1
+        if n_chains > 1 and cfg.parallel != "off" and self._estimator_portable():
+            force = cfg.parallel == "process"
+            if force or self._auto_parallel_worthwhile(specs):
+                runner = ParallelSearchRunner(core_budget=self.core_budget)
+                results = runner.run(self, specs, start_plan, start_cost, force=force)
+                if results is not None:
+                    execution_mode = "process"
+                    n_workers = runner.last_granted
+        if results is None:
+            # In-process fallback: account the calling thread with the
+            # governor (minimum=0: a fully-loaded machine still runs the
+            # search, just without claiming a core it does not have).
+            with self.core_budget.lease(1, minimum=0):
+                results = [
+                    self.run_chain(spec.chain, start_plan, start_cost, spec.max_iterations)
+                    for spec in specs
+                ]
+
+        return self._merge_results(
+            results,
+            initial_plan=initial_plan,
+            initial_cost=initial_cost,
+            start_cost=start_cost,
+            start_time=start_time,
+            n_chains=n_chains,
+            execution_mode=execution_mode,
+            n_workers=n_workers,
+        )
+
+    def _merge_results(
+        self,
+        results: List[ChainResult],
+        initial_plan: ExecutionPlan,
+        initial_cost: float,
+        start_cost: float,
+        start_time: float,
+        n_chains: int,
+        execution_mode: str,
+        n_workers: int,
+    ) -> SearchResult:
+        """Deterministically merge per-chain results (chain order, strict <)."""
+        best_plan_assignments: Dict[str, Allocation] = dict(initial_plan.assignments)
+        best_cost = start_cost
+        for result in results:
+            if result.best_cost < best_cost:
+                best_plan_assignments = dict(result.best_plan.assignments)
+                best_cost = result.best_cost
         history: List[Tuple[int, float, float]] = []
-        n_accepted = 0
-        iteration = 0
-        for chain in range(n_chains):
-            # Chain 0 keeps the searcher's own stream (bit-compatible with the
-            # single-chain search); further chains get independent streams.
-            rng = self._rng if chain == 0 else np.random.default_rng([cfg.seed, chain])
-            max_iterations = iteration + base_iters + (1 if chain < extra_iters else 0)
-            deadline = start_time + min(cfg.time_budget_s, (chain + 1) * chain_budget)
-            current, current_cost = start_plan, start_cost
-            while iteration < max_iterations:
-                if time.perf_counter() > deadline:
-                    break
-                iteration += 1
-                call_name, new_alloc = self._propose(current, rng)
-                proposal_cost = self._proposal_cost(current, call_name, new_alloc)
-                # Normalise the energy by the best cost found so far so the
-                # temperature stays meaningful across experiment scales and
-                # even when the initial plan is heavily OOM-penalised.
-                scale = max(best_cost, 1e-9)
-                delta = (proposal_cost - current_cost) / scale
-                accept = delta <= 0 or rng.random() < math.exp(-cfg.beta * delta)
-                if accept:
-                    current = current.with_assignment(call_name, new_alloc)
-                    current_cost = proposal_cost
-                    n_accepted += 1
-                    if current_cost < best_cost:
-                        best_plan, best_cost = current, current_cost
-                if cfg.record_history:
-                    history.append(
-                        (iteration, time.perf_counter() - start_time, best_cost)
-                    )
-
+        running_best = start_cost
+        offset = 0
+        for result in results:
+            for iteration, elapsed, chain_best in result.history:
+                if chain_best < running_best:
+                    running_best = chain_best
+                history.append((offset + iteration, elapsed, running_best))
+            offset += result.n_iterations
         return SearchResult(
-            best_plan=ExecutionPlan(dict(best_plan.assignments), name="searched"),
+            best_plan=ExecutionPlan(best_plan_assignments, name="searched"),
             best_cost=best_cost,
             initial_plan=initial_plan,
             initial_cost=initial_cost,
-            n_iterations=iteration,
-            n_accepted=n_accepted,
+            n_iterations=sum(r.n_iterations for r in results),
+            n_accepted=sum(r.n_accepted for r in results),
             elapsed_seconds=time.perf_counter() - start_time,
             history=history,
             search_space=search_space_size(self.options),
             n_chains=n_chains,
+            cpu_seconds=sum(r.cpu_seconds for r in results),
+            chain_wall_seconds=[r.wall_seconds for r in results],
+            chain_cpu_seconds=[r.cpu_seconds for r in results],
+            execution_mode=execution_mode,
+            n_workers=n_workers,
         )
 
 
@@ -287,12 +479,15 @@ def search_execution_plan(
     config: SearchConfig = SearchConfig(),
     estimator: Optional[RuntimeEstimator] = None,
     initial_plan: Optional[ExecutionPlan] = None,
+    core_budget: Optional[CoreBudget] = None,
 ) -> SearchResult:
     """Convenience wrapper: build a searcher and run it once.
 
     ``initial_plan`` optionally warm-starts the chain (e.g. from a cached plan
     for a similar workload, see :mod:`repro.service.warm_start`); it takes
     precedence over ``config.initial_plan`` when both are given.
+    ``core_budget`` shares a core governor with other concurrent components
+    (defaults to the process-global one).
     """
     if initial_plan is not None:
         import dataclasses
@@ -305,5 +500,6 @@ def search_execution_plan(
         estimator=estimator,
         prune=prune,
         config=config,
+        core_budget=core_budget,
     )
     return searcher.search()

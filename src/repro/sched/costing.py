@@ -18,8 +18,9 @@ report is built from: cold searches vs. warm-started/cached replans.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig
@@ -72,6 +73,8 @@ class PlanCosting:
         self.candidates_scored = 0
         self._cold: List[RequestStats] = []
         self._replan: List[RequestStats] = []
+        self._wave_seconds: List[float] = []
+        self._wave_sizes: List[int] = []
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -94,12 +97,18 @@ class PlanCosting:
         return job.first_started_at is not None
 
     def score(self, pairs: Sequence[Tuple[Job, Partition]]) -> List[Candidate]:
-        """Score candidates concurrently; infeasible/failed ones stay in place.
+        """Score one *wave* of candidates; infeasible/failed ones stay in place.
 
         All requests are submitted before the first result is awaited, so
         novel shapes search in parallel on the service pool while repeated
-        shapes collapse onto cache hits or in-flight searches.
+        shapes collapse onto cache hits or in-flight searches.  One call is
+        one overlapped wave — policies batch every candidate of a scheduling
+        decision into a single call, and the wave's wall-clock time is the
+        decision's plan-costing latency (see :attr:`wave_stats`).
         """
+        if not pairs:
+            return []
+        wave_started = time.perf_counter()
         futures = [
             self.service.submit(self._request(job, partition))
             for job, partition in pairs
@@ -134,6 +143,8 @@ class PlanCosting:
                     stats=response.stats,
                 )
             )
+        self._wave_seconds.append(time.perf_counter() - wave_started)
+        self._wave_sizes.append(len(pairs))
         return out
 
     def score_one(self, job: Job, partitions: Sequence[Partition]) -> List[Candidate]:
@@ -169,3 +180,23 @@ class PlanCosting:
             count=len(self._replan),
             total_seconds=sum(s.search_seconds for s in self._replan),
         )
+
+    @property
+    def wave_stats(self) -> Dict[str, float]:
+        """Scheduler decision latency: per-wave wall-clock summary.
+
+        One wave is one :meth:`score` call — all candidate costings of one
+        scheduling decision overlapped on the service pool.  ``mean``/``max``
+        therefore measure how long the scheduler blocks on plan costing per
+        decision, the latency metric tracked in ``BENCH_search_scaling.json``.
+        """
+        waves = self._wave_seconds
+        if not waves:
+            return {"waves": 0, "candidates": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+        return {
+            "waves": len(waves),
+            "candidates": sum(self._wave_sizes),
+            "total_s": sum(waves),
+            "mean_s": sum(waves) / len(waves),
+            "max_s": max(waves),
+        }

@@ -90,15 +90,37 @@ class SchedulingPolicy:
 
 
 class FirstFitPolicy(SchedulingPolicy):
-    """FIFO over arrivals; each job takes the smallest feasible partition."""
+    """FIFO over arrivals; each job takes the smallest feasible partition.
+
+    All (queued job, free shape) candidates are batched into **one**
+    overlapped costing wave — novel shapes search concurrently on the plan
+    service while repeats collapse onto cache hits — and the decision is then
+    read off the scored list in FIFO order (smallest feasible shape first),
+    exactly as the sequential per-job probing would have chosen.  Scores for
+    jobs behind the placed one are not wasted: shapes repeat across
+    decisions, so the speculative searches land in the plan-service cache
+    and serve the following decisions — cold search work is pulled forward
+    and overlapped, not multiplied.
+    """
 
     name = "first_fit"
 
     def decide(self, queue, running, manager, costing) -> PolicyDecision:
+        pairs: List[Tuple[Job, Partition]] = []
         for job in queue:
-            candidate = self._first_fit(job, manager, costing)
-            if candidate is not None:
-                return PolicyDecision(placement=candidate)
+            shapes = manager.distinct_shapes(job.spec.min_gpus, job.spec.gpu_ceiling)
+            pairs.extend((job, shape) for shape in shapes)
+        if not pairs:
+            return PolicyDecision()
+        by_job: dict = {}
+        for candidate in costing.score(pairs):
+            by_job.setdefault(candidate.job.uid, []).append(candidate)
+        for job in queue:
+            # Shapes were enumerated smallest first and score() preserves
+            # order, so the first feasible candidate is the smallest fit.
+            for candidate in by_job.get(job.uid, ()):
+                if candidate.feasible:
+                    return PolicyDecision(placement=candidate)
         return PolicyDecision()
 
 
@@ -227,11 +249,21 @@ class StaticEqualPolicy(SchedulingPolicy):
         open_slots = [
             slot for slot in self._slots_for(manager) if slot.device_id_set <= free
         ]
+        # One overlapped wave over every (job, fitting slot) pair; the FIFO
+        # selection below is unchanged (slots are identical shapes anyway, so
+        # repeats collapse onto the same cached search).
+        pairs: List[Tuple[Job, Partition]] = []
         for job in queue:
-            fitting = [s for s in open_slots if s.n_gpus >= job.spec.min_gpus]
-            if not fitting:
-                continue
-            for candidate in costing.score_one(job, fitting):
+            pairs.extend(
+                (job, slot) for slot in open_slots if slot.n_gpus >= job.spec.min_gpus
+            )
+        if not pairs:
+            return PolicyDecision()
+        by_job: dict = {}
+        for candidate in costing.score(pairs):
+            by_job.setdefault(candidate.job.uid, []).append(candidate)
+        for job in queue:
+            for candidate in by_job.get(job.uid, ()):
                 if candidate.feasible:
                     return PolicyDecision(placement=candidate)
         return PolicyDecision()

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 from ..cluster.hardware import ClusterSpec
 from ..core.dataflow import DataflowGraph
 from ..core.estimator import RuntimeEstimator
+from ..core.parallel_search import GLOBAL_CORE_BUDGET, CoreBudget
 from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig, allocation_options
 from ..core.search import MCMCSearcher, SearchConfig, SearchResult
@@ -109,6 +110,9 @@ class ServiceStats:
     warm_starts: int = 0
     dedup_joins: int = 0
     estimator_reuses: int = 0
+    parallel_searches: int = 0
+    """Searches whose chains ran on worker processes (vs in the request
+    thread); bounded by what the shared core-budget governor granted."""
     search_seconds: float = 0.0
 
     @property
@@ -148,6 +152,13 @@ class PlanService:
         estimator, so its memoised per-call and per-edge costs amortise
         across requests.  Estimator caches are GIL-safe for concurrent
         searches (racing writes store identical values).
+    core_budget:
+        The :class:`~repro.core.parallel_search.CoreBudget` governor shared
+        between this service's request threads and any process-parallel
+        searches they spawn (``SearchConfig.n_chains > 1``).  One governor
+        spans both layers, so multi-chain searches degrade to in-process
+        execution instead of oversubscribing the machine when many requests
+        are in flight.  Defaults to the process-global governor.
 
     The service is a context manager; :meth:`shutdown` drains the pool.
     """
@@ -160,6 +171,7 @@ class PlanService:
         persist_path: Optional[str] = None,
         warm_start: bool = True,
         estimator_cache_size: int = 8,
+        core_budget: Optional[CoreBudget] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -171,6 +183,7 @@ class PlanService:
             capacity=cache_capacity, persist_path=persist_path
         )
         self.warm_start = warm_start
+        self.core_budget = core_budget if core_budget is not None else GLOBAL_CORE_BUDGET
         self.stats = ServiceStats()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="plan-service"
@@ -356,6 +369,7 @@ class PlanService:
             prune=request.prune,
             config=request.search,
             seed_plans=seed_plans,
+            core_budget=self.core_budget,
         )
         result = searcher.search()
         peak_memory_bytes = estimator.max_memory(result.best_plan).max_bytes
@@ -368,6 +382,8 @@ class PlanService:
         with self._lock:
             if warm_started:
                 self.stats.warm_starts += 1
+            if result.execution_mode == "process":
+                self.stats.parallel_searches += 1
             self.stats.search_seconds += result.elapsed_seconds
         stats = RequestStats(
             fingerprint=fingerprint.key,
