@@ -21,6 +21,7 @@ for a seconds-long CI-friendly run) or via pytest
 from __future__ import annotations
 
 import argparse
+import random
 from typing import Dict, List
 
 from repro.cluster import make_cluster
@@ -36,24 +37,27 @@ from repro.sched import (
 from repro.service import PlanService
 
 
-def _trace(n_jobs: int) -> List[JobSpec]:
+def _trace(n_jobs: int, seed: int = 0) -> List[JobSpec]:
     """A heterogeneous trace: short and long jobs, mixed algorithms/batches.
 
     Half the jobs are short (they free capacity early, which only elastic
-    policies can exploit), half are long; arrivals are slightly staggered so
-    queue waits differ across policies.
+    policies can exploit), half are long; arrivals are staggered with
+    seed-deterministic jitter so queue waits differ across policies while
+    any two runs with the same ``--seed`` see the *same* trace.
     """
+    rng = random.Random(seed)
     jobs: List[JobSpec] = []
     for i in range(n_jobs // 2):
+        jitter = round(rng.uniform(0.0, 1.5), 3)
         jobs.append(
             JobSpec(
                 name=f"short-{i}",
                 algorithm="grpo" if i % 2 else "ppo",
                 batch_size=128,
-                target_iterations=6,
+                target_iterations=rng.choice((5, 6, 7)),
                 min_gpus=8,
                 max_gpus=32,
-                arrival_time=2.0 * i,
+                arrival_time=2.0 * i + jitter,
             )
         )
         jobs.append(
@@ -61,31 +65,32 @@ def _trace(n_jobs: int) -> List[JobSpec]:
                 name=f"long-{i}",
                 algorithm="ppo",
                 batch_size=256,
-                target_iterations=30,
+                target_iterations=rng.choice((28, 30, 32)),
                 min_gpus=8,
                 max_gpus=32,
                 priority=1,
-                arrival_time=2.0 * i,
+                arrival_time=2.0 * i + jitter,
             )
         )
     return jobs
 
 
-def _config(smoke: bool) -> SchedulerConfig:
+def _config(smoke: bool, seed: int = 0) -> SchedulerConfig:
     budget = SearchConfig(
         max_iterations=80 if smoke else 400,
         time_budget_s=1.0 if smoke else 5.0,
         record_history=False,
+        seed=seed,
     )
     return SchedulerConfig(search=budget)
 
 
-def run_benchmark(smoke: bool = True) -> Dict[str, object]:
+def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
     n_gpus = 64 if smoke else 128
     n_jobs = 8 if smoke else 12
     cluster = make_cluster(n_gpus)
-    jobs = _trace(n_jobs)
-    config = _config(smoke)
+    jobs = _trace(n_jobs, seed=seed)
+    config = _config(smoke, seed=seed)
 
     # --- Policy comparison, sharing one plan service (and thus one cache:
     # --- same-shaped partitions are exact hits across policies).
@@ -204,8 +209,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="seconds-long CI run: 64 GPUs, 8 jobs, reduced search budgets",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for trace generation and plan search: same seed, same run",
+    )
     args = parser.parse_args(argv)
-    results = run_benchmark(smoke=args.smoke)
+    results = run_benchmark(smoke=args.smoke, seed=args.seed)
     _check(results)
     _print(results)
     packing = results["by_policy"]["best_throughput"]

@@ -9,6 +9,7 @@ from .api import (
     auto,
     build_graph_from_defs,
     find_execution_plan,
+    run_iteration_trace,
     schedule_jobs,
 )
 from .brute_force import BruteForceResult, brute_force_search
@@ -113,5 +114,6 @@ __all__ = [
     "auto",
     "build_graph_from_defs",
     "find_execution_plan",
+    "run_iteration_trace",
     "schedule_jobs",
 ]

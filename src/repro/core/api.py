@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..runtime.engine import IterationTrace
     from ..sched.metrics import ScheduleReport
     from ..sched.scheduler import NodeFailure, SchedulerConfig
     from ..service.server import PlanService
@@ -35,6 +36,7 @@ __all__ = [
     "auto",
     "build_graph_from_defs",
     "find_execution_plan",
+    "run_iteration_trace",
     "schedule_jobs",
 ]
 
@@ -237,6 +239,75 @@ def find_execution_plan(
     return result, experiment
 
 
+def run_iteration_trace(
+    algorithm: str,
+    actor_size: str = "7b",
+    critic_size: str = "7b",
+    n_gpus: int = 16,
+    batch_size: int = 512,
+    prompt_len: int = 1024,
+    gen_len: int = 1024,
+    n_ppo_minibatches: int = 8,
+    gpus_per_node: int = 8,
+    plan: Optional[ExecutionPlan] = None,
+    search: SearchConfig = SearchConfig(),
+    prune: PruneConfig = PruneConfig(),
+    service: Optional["PlanService"] = None,
+    trace_path: Optional[str] = None,
+) -> Tuple["IterationTrace", ExperimentConfig]:
+    """Simulate one RLHF iteration on the runtime engine and return its trace.
+
+    When ``plan`` is omitted the execution plan is searched first (exactly
+    like :func:`find_execution_plan`, including optional plan-service
+    routing); the plan is then executed for one iteration on the
+    discrete-event runtime engine, yielding the full
+    :class:`~repro.runtime.engine.IterationTrace` — per-call spans, per-GPU
+    cost-category seconds and the memory estimate.  ``trace_path`` exports
+    the iteration as Chrome-trace JSON (``chrome://tracing`` / Perfetto).
+    """
+    from ..runtime.engine import RuntimeEngine  # local import avoids a cycle
+
+    if plan is None:
+        result, experiment = find_execution_plan(
+            algorithm,
+            actor_size,
+            critic_size,
+            n_gpus,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+            gen_len=gen_len,
+            n_ppo_minibatches=n_ppo_minibatches,
+            gpus_per_node=gpus_per_node,
+            search=search,
+            prune=prune,
+            service=service,
+        )
+        plan = result.best_plan
+    else:
+        from ..algorithms.registry import build_graph  # local import avoids a cycle
+        from .workload import instructgpt_workload
+
+        experiment = ExperimentConfig(
+            graph=build_graph(algorithm),
+            workload=instructgpt_workload(
+                actor_size=actor_size,
+                critic_size=critic_size,
+                batch_size=batch_size,
+                prompt_len=prompt_len,
+                gen_len=gen_len,
+                n_ppo_minibatches=n_ppo_minibatches,
+            ),
+            cluster=make_cluster(n_gpus, gpus_per_node=gpus_per_node),
+            search=search,
+            prune=prune,
+        )
+    engine = RuntimeEngine(experiment.cluster, experiment.workload)
+    trace = engine.run_iteration(experiment.graph, plan)
+    if trace_path is not None:
+        trace.export_chrome_trace(trace_path)
+    return trace, experiment
+
+
 def schedule_jobs(
     jobs: Sequence["object"],
     n_gpus: int,
@@ -245,6 +316,7 @@ def schedule_jobs(
     config: Optional["SchedulerConfig"] = None,
     service: Optional["PlanService"] = None,
     failures: Sequence["NodeFailure"] = (),
+    trace_path: Optional[str] = None,
 ) -> "ScheduleReport":
     """One-call entry point of the multi-job cluster scheduler.
 
@@ -256,6 +328,8 @@ def schedule_jobs(
     utilization) is returned.  Passing a
     :class:`~repro.service.server.PlanService` shares the plan cache with
     other callers; otherwise the scheduler owns (and closes) a private one.
+    ``trace_path`` exports one merged Chrome trace spanning cluster events
+    and every job's engine-profiled iteration phases.
     """
     from ..sched.scheduler import schedule_trace  # local import avoids a cycle
 
@@ -267,4 +341,5 @@ def schedule_jobs(
         config=config,
         service=service,
         failures=failures,
+        trace_path=trace_path,
     )

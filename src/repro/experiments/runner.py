@@ -172,6 +172,7 @@ def run_scheduler_comparison(
     config=None,
     plan_service: Optional[PlanService] = None,
     failures: Sequence[object] = (),
+    trace_dir: Optional[str] = None,
 ):
     """Run one job trace under several scheduling policies.
 
@@ -180,13 +181,21 @@ def run_scheduler_comparison(
     ``plan_service`` is given all runs share one plan cache, so policies
     after the first mostly re-score cached (job, shape) candidates — the
     comparison then measures scheduling quality, not repeated search cost.
-    Returns one :class:`~repro.sched.metrics.ScheduleReport` per policy, in
-    order.
+    ``trace_dir`` exports one merged Chrome trace per policy
+    (``schedule_<policy>.json`` — cluster events plus every job's
+    engine-profiled iteration phases).  Returns one
+    :class:`~repro.sched.metrics.ScheduleReport` per policy, in order.
     """
-    from ..sched.scheduler import schedule_trace  # local import avoids a cycle
+    from ..sched.policies import get_policy  # local import avoids a cycle
+    from ..sched.scheduler import schedule_trace
 
     reports = []
     for policy in policies:
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = os.path.join(
+                trace_dir, f"schedule_{get_policy(policy).name}.json"
+            )
         reports.append(
             schedule_trace(
                 cluster=cluster,
@@ -195,6 +204,7 @@ def run_scheduler_comparison(
                 config=config,
                 service=plan_service,
                 failures=failures,
+                trace_path=trace_path,
             )
         )
     return reports

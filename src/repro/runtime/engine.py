@@ -12,26 +12,42 @@ The engine evaluates per-layer costs with the exact analytical kernel model
 (not the interpolated profiles the estimator uses) and accounts for request
 dispatch overhead, reallocation broadcasts and inter-call data movement, so
 its results deliberately differ from the estimator's by a few percent.
+
+Since the :mod:`repro.sim` refactor the engine is a *workload executor* over
+the shared simulation kernel: the dispatch/complete chain runs as
+:class:`~repro.sim.kernel.SimKernel` events, GPU busy time is tracked by the
+shared resource timelines, and the resulting spans export as a Chrome trace
+(:meth:`IterationTrace.export_chrome_trace`).  The executor is a greedy list
+scheduler — each dispatch picks the ready call that can start earliest and
+its completion event immediately re-arms the dispatcher — which reproduces
+the paper's master/worker FIFO behaviour exactly (and bit-identically to the
+pre-kernel implementation, see ``tests/test_golden_traces.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..cluster.hardware import ClusterSpec
 from ..core.call_cost import CallCostModel, CostBreakdown
-from ..core.dataflow import DataflowGraph, FunctionCallType
+from ..core.dataflow import DataflowGraph
 from ..core.estimator import MemoryEstimate, RuntimeEstimator
 from ..core.plan import ExecutionPlan, reallocation_edges
 from ..core.profiler import AnalyticalProvider
 from ..core.workload import RLHFWorkload
 from ..realloc.cost import ReallocCostModel
+from ..sim.kernel import Event, SimKernel
+from ..sim.trace import TraceRecorder, TraceSpan
 from .data_transfer import data_transfer_time, plan_data_transfer
 from .master import MasterWorker
 from .worker import WorkerPool
 
 __all__ = ["IterationTrace", "ThroughputResult", "RuntimeEngine"]
+
+# Kernel event kinds of the engine's executor.
+_DISPATCH = "dispatch"
+_COMPLETE = "complete"
 
 
 @dataclass
@@ -45,6 +61,8 @@ class IterationTrace:
     realloc_seconds: float
     data_transfer_seconds: float
     memory: MemoryEstimate
+    gpu_spans: Dict[int, Tuple[TraceSpan, ...]] = field(default_factory=dict)
+    """Per-GPU busy spans in unified :class:`~repro.sim.trace.TraceSpan` form."""
 
     # ------------------------------------------------------------------ #
     # Aggregations used by the benchmark harness
@@ -84,6 +102,35 @@ class IterationTrace:
             "collective": coll / total_gpu_seconds,
             "idle": idle / total_gpu_seconds,
         }
+
+    # ------------------------------------------------------------------ #
+    # Unified trace export
+    # ------------------------------------------------------------------ #
+    def record_chrome(
+        self,
+        recorder: TraceRecorder,
+        process: str = "runtime engine",
+        offset_s: float = 0.0,
+    ) -> None:
+        """Emit this iteration's spans into a shared :class:`TraceRecorder`.
+
+        Per-GPU busy spans land on one thread row per GPU and call-level
+        spans on a ``calls`` overview row; ``offset_s`` shifts the whole
+        iteration (used when embedding iterations into a cluster schedule).
+        """
+        for name, (start, end) in sorted(self.call_spans.items()):
+            recorder.add_span(process, "calls", name, start + offset_s, end + offset_s,
+                              category="call")
+        for gpu_id in sorted(self.gpu_spans):
+            thread = f"gpu {gpu_id}"
+            for span in self.gpu_spans[gpu_id]:
+                recorder.add_trace_span(process, thread, span, offset_s=offset_s)
+
+    def export_chrome_trace(self, path: str, process: str = "runtime engine") -> str:
+        """Write this iteration as a Chrome-trace JSON file; returns the path."""
+        recorder = TraceRecorder()
+        self.record_chrome(recorder, process=process)
+        return str(recorder.save(path))
 
 
 @dataclass
@@ -174,11 +221,18 @@ class RuntimeEngine:
 
         parents = graph.parents_map()
         call_spans: Dict[str, Tuple[float, float]] = {}
-        finish_times: Dict[str, float] = {}
 
-        # Event loop: repeatedly pick the dispatchable call that can start the
-        # earliest given both its readiness and its device mesh availability.
-        while not master.all_completed():
+        # Workload executor over the shared kernel.  A DISPATCH event runs
+        # one greedy list-scheduling step: pick the dispatchable call that
+        # can start the earliest given both its readiness and its device
+        # mesh availability, charge its phases on the worker timelines and
+        # schedule its COMPLETE event.  The COMPLETE event propagates
+        # readiness to children and re-arms the dispatcher, so calls are
+        # processed one at a time in greedy order — the FIFO discipline of
+        # the paper's model workers.
+        kernel = SimKernel()
+
+        def _dispatch(event: Event) -> None:
             ready = master.ready_calls()
             if not ready:
                 raise RuntimeError("deadlock: no ready calls but the graph is incomplete")
@@ -228,13 +282,23 @@ class RuntimeEngine:
             for g in mesh_gpus:
                 end = max(end, pool[g].occupy(max(call_start, pool[g].free_at), durations, name))
             call_spans[name] = (start, end)
-            finish_times[name] = end
+            kernel.schedule(end, _COMPLETE, payload=(name, end))
+
+        def _complete(event: Event) -> None:
+            name, end = event.payload
             master.complete(name, end)
+            if not master.all_completed():
+                kernel.schedule(event.time, _DISPATCH)
+
+        handlers = {_DISPATCH: _dispatch, _COMPLETE: _complete}
+        kernel.schedule(0.0, _DISPATCH)
+        kernel.run(lambda event: handlers[event.kind](event))
 
         total = max(end for _, end in call_spans.values())
         memory = RuntimeEstimator(graph, self.workload, self.cluster,
                                   use_cuda_graph=self.use_cuda_graph).max_memory(plan)
         gpu_categories = {g: pool[g].categories() for g in range(self.cluster.n_gpus)}
+        gpu_spans = {g: tuple(pool[g].spans) for g in range(self.cluster.n_gpus)}
         return IterationTrace(
             total_seconds=total,
             call_spans=call_spans,
@@ -243,6 +307,7 @@ class RuntimeEngine:
             realloc_seconds=realloc_total,
             data_transfer_seconds=transfer_total,
             memory=memory,
+            gpu_spans=gpu_spans,
         )
 
     # ------------------------------------------------------------------ #

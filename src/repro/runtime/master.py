@@ -3,9 +3,11 @@
 The master worker (Section 6) runs on a CPU, keeps one coroutine per model
 function call, waits until all parent calls have completed, and then sends an
 execution request to the model workers of the call's device mesh.  In the
-simulation the master is the bookkeeping half of the discrete-event loop: it
-decides *which* call may be dispatched *when*, while the engine charges the
-time on the workers' timelines.
+simulation the master is the bookkeeping half of the engine's workload
+executor over the shared :class:`~repro.sim.kernel.SimKernel`: it decides
+*which* call may be dispatched *when* (the engine's DISPATCH events consult
+it and its COMPLETE events feed readiness back), while the engine charges
+the time on the workers' shared resource timelines.
 """
 
 from __future__ import annotations

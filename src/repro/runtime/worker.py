@@ -6,63 +6,44 @@ paper's workers poll their sockets round-robin and enqueue requests into a
 FIFO queue).  In the simulation a worker is a timeline: it records when it is
 busy, with what, and in which cost category, which is what the GPU-time
 breakdown of Figure 11 aggregates.
+
+The timeline mechanics live in the shared simulation kernel
+(:mod:`repro.sim.resources`); this module only adds what is specific to
+model workers — the GPU id vocabulary and parameter-shard residency
+tracking.  ``BusySpan`` is the historical name of the unified
+:class:`~repro.sim.trace.TraceSpan` record.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
+
+from ..sim.resources import ResourceTimeline, TimelinePool
+from ..sim.trace import TraceSpan
 
 __all__ = ["BusySpan", "ModelWorker", "WorkerPool"]
 
+BusySpan = TraceSpan
+"""One interval during which a worker's GPU was occupied.
 
-@dataclass(frozen=True)
-class BusySpan:
-    """One interval during which a worker's GPU was occupied."""
-
-    start: float
-    end: float
-    call_name: str
-    category: str
-    """One of ``compute``, ``pp_comm``, ``coll_comm``, ``bubble``, ``launch``,
-    ``realloc``, ``data_transfer`` or ``other``."""
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+Categories used by the engine: ``compute``, ``pp_comm``, ``coll_comm``,
+``bubble``, ``launch``, ``realloc``, ``data_transfer`` and ``other``.
+"""
 
 
-@dataclass
-class ModelWorker:
+class ModelWorker(ResourceTimeline):
     """Simulated per-GPU worker with a FIFO execution queue."""
 
-    gpu_id: int
-    free_at: float = 0.0
-    spans: List[BusySpan] = field(default_factory=list)
-    resident_models: Dict[str, float] = field(default_factory=dict)
-    """Model name -> parameter bytes currently resident on this GPU."""
+    __slots__ = ("resident_models",)
 
-    def occupy(self, start: float, durations: Dict[str, float], call_name: str) -> float:
-        """Occupy the GPU from ``start`` for the given per-category durations.
+    def __init__(self, gpu_id: int) -> None:
+        super().__init__(resource_id=gpu_id)
+        self.resident_models: Dict[str, float] = {}
+        """Model name -> parameter bytes currently resident on this GPU."""
 
-        Returns the completion time.  ``start`` must not precede the worker's
-        current availability (FIFO order is enforced by the engine).
-        """
-        if start < self.free_at - 1e-9:
-            raise ValueError(
-                f"GPU {self.gpu_id} asked to start at {start:.3f} "
-                f"but is busy until {self.free_at:.3f}"
-            )
-        clock = start
-        for category, duration in durations.items():
-            if duration <= 0:
-                continue
-            self.spans.append(
-                BusySpan(start=clock, end=clock + duration, call_name=call_name, category=category)
-            )
-            clock += duration
-        self.free_at = max(self.free_at, clock)
-        return clock
+    @property
+    def gpu_id(self) -> int:
+        return self.resource_id
 
     def load_model(self, model_name: str, nbytes: float) -> None:
         """Record that a parameter shard of ``model_name`` now lives here."""
@@ -72,42 +53,15 @@ class ModelWorker:
         """Drop a model's parameter shard from this GPU (offload/reallocation)."""
         self.resident_models.pop(model_name, None)
 
-    def busy_seconds(self, category: Optional[str] = None) -> float:
-        """Total busy time, optionally restricted to one cost category."""
-        return sum(s.duration for s in self.spans if category is None or s.category == category)
 
-    def categories(self) -> Dict[str, float]:
-        """Busy seconds per cost category."""
-        out: Dict[str, float] = {}
-        for span in self.spans:
-            out[span.category] = out.get(span.category, 0.0) + span.duration
-        return out
-
-
-class WorkerPool:
+class WorkerPool(TimelinePool):
     """All model workers of the cluster, indexed by global GPU id."""
 
     def __init__(self, n_gpus: int) -> None:
-        self.workers: Dict[int, ModelWorker] = {g: ModelWorker(gpu_id=g) for g in range(n_gpus)}
+        super().__init__(0)  # empty; filled with ModelWorkers below
+        self.timelines = {g: ModelWorker(gpu_id=g) for g in range(n_gpus)}
 
-    def __getitem__(self, gpu_id: int) -> ModelWorker:
-        return self.workers[gpu_id]
-
-    def __len__(self) -> int:
-        return len(self.workers)
-
-    def free_at(self, gpu_ids: Tuple[int, ...]) -> float:
-        """Earliest time at which every GPU in ``gpu_ids`` is free."""
-        return max(self.workers[g].free_at for g in gpu_ids)
-
-    def total_busy(self, category: Optional[str] = None) -> float:
-        """Aggregate busy seconds across all workers."""
-        return sum(w.busy_seconds(category) for w in self.workers.values())
-
-    def category_totals(self) -> Dict[str, float]:
-        """Aggregate busy seconds per category across all workers."""
-        out: Dict[str, float] = {}
-        for worker in self.workers.values():
-            for category, seconds in worker.categories().items():
-                out[category] = out.get(category, 0.0) + seconds
-        return out
+    @property
+    def workers(self) -> Dict[int, ModelWorker]:
+        """Alias kept from the pre-kernel API."""
+        return self.timelines

@@ -22,6 +22,7 @@ from .costing import Candidate, PlanCosting
 from .job import Job, JobPhase, JobSpec
 from .metrics import JobMetrics, ScheduleReport, SearchTimeStats
 from .partition import Partition, PartitionManager, equal_node_partitions
+from .profiles import IterationProfile, IterationProfiler, MigrationCostModel
 from .policies import (
     BestThroughputPolicy,
     FirstFitPolicy,
@@ -43,6 +44,9 @@ __all__ = [
     "equal_node_partitions",
     "Candidate",
     "PlanCosting",
+    "IterationProfile",
+    "IterationProfiler",
+    "MigrationCostModel",
     "PolicyDecision",
     "SchedulingPolicy",
     "FirstFitPolicy",

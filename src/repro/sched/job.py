@@ -5,8 +5,15 @@ sizes to train, the data shape, a priority, when the job arrives and how many
 RLHF iterations it must complete, plus an elastic GPU range
 (``min_gpus``/``max_gpus``) the scheduler may place it within.  A
 :class:`Job` is the scheduler's mutable runtime record of one submitted spec:
-its phase, current partition and plan, accumulated progress and the
-displacement counters (replans, preemptions, elastic resizes).
+its phase, current partition, plan and engine-derived iteration profile,
+accumulated progress and the displacement counters (replans, preemptions,
+elastic resizes).
+
+Progress is **iteration-granular**: a job advances one whole RLHF iteration
+per kernel event at the pace of its engine-simulated
+:class:`~repro.sched.profiles.IterationProfile`; an iteration interrupted by
+a preemption, failure or elastic migration is lost (its GPU time is still
+billed), exactly as an aborted training step would be on a real cluster.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from ..core.plan import ExecutionPlan
 from ..core.workload import RLHFWorkload, instructgpt_workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..sim.kernel import Event
     from .partition import Partition
+    from .profiles import IterationProfile
 
 __all__ = ["JobSpec", "JobPhase", "Job"]
 
@@ -62,6 +71,16 @@ class JobSpec:
         if self.max_gpus is not None and self.max_gpus < self.min_gpus:
             raise ValueError(
                 f"max_gpus ({self.max_gpus}) must be >= min_gpus ({self.min_gpus})"
+            )
+        # Validate the algorithm at submission time: a typo would otherwise
+        # surface as a deep KeyError at graph-build time inside the
+        # scheduler's event loop, long after the job was accepted.
+        from ..algorithms.registry import available_algorithms  # avoids a cycle
+
+        if self.algorithm.lower() not in available_algorithms():
+            raise ValueError(
+                f"job {self.name!r} requests unknown RLHF algorithm "
+                f"{self.algorithm!r}; available: {available_algorithms()}"
             )
 
     @property
@@ -110,13 +129,35 @@ class Job:
     phase: JobPhase = JobPhase.PENDING
     partition: Optional["Partition"] = None
     plan: Optional[ExecutionPlan] = None
+    profile: Optional["IterationProfile"] = None
+    """Engine-derived per-iteration phase profile of the current placement."""
     seconds_per_iteration: float = float("inf")
+    """True iteration time of the current placement (engine-simulated)."""
+    planned_seconds_per_iteration: float = float("inf")
+    """The estimator's iteration time of the current plan — what the search
+    optimised.  Elastic-resize decisions compare planned against planned so
+    the comparison stays within one cost model."""
     iterations_done: float = 0.0
+    """Whole iterations completed (integral; partial iterations are lost on
+    displacement)."""
+    iteration_started_at: Optional[float] = None
+    """Start of the in-flight iteration (for intra-iteration phase queries)."""
+    pending_event: Optional["Event"] = None
+    """The job's next scheduled iteration-boundary kernel event."""
+    prev_partition: Optional["Partition"] = None
+    prev_plan: Optional[ExecutionPlan] = None
+    """Located layout of the last segment — what migration costs are charged
+    against when the job is re-placed."""
+    lost_params: bool = False
+    """Set when a node failure destroyed the resident parameter copy: the
+    next placement pays a full parameter reload instead of a relayout."""
+    switch_seconds: float = 0.0
+    """Total parameter-migration time charged across all segments."""
     segment_started_at: Optional[float] = None
     first_started_at: Optional[float] = None
     completed_at: Optional[float] = None
     generation: int = 0
-    """Bumped on every displacement; invalidates scheduled completion events."""
+    """Bumped on every displacement; invalidates scheduled iteration events."""
     n_replans: int = 0
     n_preemptions: int = 0
     n_resizes: int = 0
@@ -142,21 +183,34 @@ class Job:
 
     @property
     def throughput(self) -> float:
-        """Current iterations/sec (0 when not running)."""
+        """Current true iterations/sec (0 when not running)."""
         if not self.is_running or self.seconds_per_iteration <= 0:
             return 0.0
         return 1.0 / self.seconds_per_iteration
 
-    def accrue(self, now: float) -> None:
-        """Bank the progress of the current running segment up to ``now``."""
+    @property
+    def planned_throughput(self) -> float:
+        """Current estimator iterations/sec (0 when not running)."""
+        if not self.is_running or self.planned_seconds_per_iteration <= 0:
+            return 0.0
+        return 1.0 / self.planned_seconds_per_iteration
+
+    def accrue_gpu_time(self, now: float) -> None:
+        """Bank the GPU time of the current running segment up to ``now``.
+
+        Progress is *not* banked here — iterations complete only at their
+        kernel events; a segment cut short mid-iteration paid for GPUs
+        without finishing the step.
+        """
         if self.segment_started_at is None:
             return
         elapsed = max(0.0, now - self.segment_started_at)
-        if self.seconds_per_iteration > 0 and self.seconds_per_iteration != float("inf"):
-            self.iterations_done = min(
-                float(self.spec.target_iterations),
-                self.iterations_done + elapsed / self.seconds_per_iteration,
-            )
         if self.partition is not None:
             self.gpu_seconds += elapsed * self.partition.n_gpus
         self.segment_started_at = now
+
+    def current_phase(self, now: float) -> str:
+        """The intra-iteration phase in flight at ``now`` (for the timeline)."""
+        if self.profile is None or self.iteration_started_at is None:
+            return "startup"
+        return self.profile.phase_at(now - self.iteration_started_at)

@@ -108,6 +108,15 @@ class ScheduleReport:
     service_stats: Dict[str, Any] = field(default_factory=dict)
     timeline: List[Dict[str, Any]] = field(default_factory=list)
     """Chronological ``{time, event, job, detail}`` records of the run."""
+    n_events: int = 0
+    """Kernel events processed (arrivals, iteration boundaries, failures...)."""
+    engine_profile_runs: int = 0
+    """Distinct runtime-engine iteration simulations behind the progress
+    model (cache misses of the :class:`~repro.sched.profiles.IterationProfiler`)."""
+    total_switch_seconds: float = 0.0
+    """Parameter-migration time charged across all placements and resizes."""
+    trace_path: Optional[str] = None
+    """Where the merged Chrome trace of this run was written (if exported)."""
 
     # ------------------------------------------------------------------ #
     # Derived cluster-level metrics
@@ -205,5 +214,9 @@ class ScheduleReport:
             "cold_searches": self.cold_searches.to_dict(),
             "replan_searches": self.replan_searches.to_dict(),
             "service_stats": dict(self.service_stats),
+            "n_events": self.n_events,
+            "engine_profile_runs": self.engine_profile_runs,
+            "total_switch_seconds": self.total_switch_seconds,
+            "trace_path": self.trace_path,
             "jobs": [job.to_dict() for job in self.jobs],
         }

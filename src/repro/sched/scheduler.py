@@ -1,50 +1,72 @@
-"""Discrete-event multi-job scheduler over one shared GPU cluster.
+"""Trace-driven multi-job scheduler over one shared GPU cluster.
 
 :class:`ClusterScheduler` admits a stream of RLHF training jobs
 (:class:`~repro.sched.job.JobSpec`) onto a shared
-:class:`~repro.cluster.hardware.ClusterSpec` and simulates the cluster in
-virtual time.  The event loop covers:
+:class:`~repro.cluster.hardware.ClusterSpec` and simulates the cluster on
+the shared discrete-event kernel (:class:`~repro.sim.kernel.SimKernel`) —
+the same kernel the iteration-level runtime engine executes plans on.  The
+event loop covers:
 
 * **arrivals** — jobs join the queue at their arrival time;
-* **completions** — a placed job finishes after ``target_iterations`` at the
-  iteration time of its searched plan;
+* **iteration boundaries** — a placed job advances one whole RLHF iteration
+  per kernel event, paced by the engine-simulated
+  :class:`~repro.sched.profiles.IterationProfile` of its searched plan (not
+  a flat ``iters/s`` scalar), and completes at the boundary that reaches
+  ``target_iterations``;
 * **failures / recoveries** — injected whole-node failures displace every
   job whose partition touches the node; recoveries return the capacity;
 * **elastic resizes** — when capacity frees up and the queue is empty,
   running jobs may migrate to larger partitions when the re-planned
   throughput gain clears a threshold.
 
+Progress is iteration-faithful: displacements and resizes land at intra-
+iteration phase granularity (the interrupted call is named in the
+timeline), the cut iteration's work is lost while its GPU time is still
+billed, and every re-placement of a previously running job is charged the
+real parameter-migration cost priced by
+:class:`~repro.realloc.cost.ReallocCostModel` on the parent cluster
+(:class:`~repro.sched.profiles.MigrationCostModel`) — zero for resuming in
+place, inter-node bandwidth for moving across nodes, and a full parameter
+reload after a node failure destroyed the resident copy.
+
 Every placement is a full plan search over the partition's carved cluster,
 served by the shared :class:`~repro.service.server.PlanService`: same-shaped
 partitions are exact cache hits, and displaced jobs re-plan with a reduced
 budget, warm-started from their own previously cached plans (same
 fingerprint family) — cold planning happens once per (job type, shape).
+
+A run can export one merged Chrome trace spanning cluster-level events and
+per-job iteration phases (:meth:`ClusterScheduler.export_chrome_trace`,
+``schedule_trace(trace_path=...)``), loadable in ``chrome://tracing`` or
+Perfetto.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..cluster.hardware import ClusterSpec
 from ..core.pruning import PruneConfig
 from ..core.search import SearchConfig
 from ..service.server import PlanService
+from ..sim.kernel import Event, SimKernel
+from ..sim.trace import TraceRecorder
 from .costing import Candidate, PlanCosting
 from .job import Job, JobPhase, JobSpec
 from .metrics import JobMetrics, ScheduleReport
-from .partition import PartitionManager
+from .partition import Partition, PartitionManager
 from .policies import SchedulingPolicy, get_policy
+from .profiles import IterationProfile, IterationProfiler, MigrationCostModel
 
 __all__ = ["NodeFailure", "SchedulerConfig", "ClusterScheduler", "schedule_trace"]
 
-# Event kinds, in processing order within one timestamp: capacity changes
-# first (failures take GPUs away, recoveries return them), then arrivals,
-# then completions.
-_FAILURE, _RECOVERY, _ARRIVAL, _COMPLETION = range(4)
+# Event kinds with their processing priority within one timestamp: capacity
+# changes first (failures take GPUs away, recoveries return them), then
+# arrivals, then iteration boundaries (which include completions).
+_FAILURE, _RECOVERY, _ARRIVAL, _ITERATION = "failure", "recovery", "arrival", "iteration"
+_PRIORITY = {_FAILURE: 0, _RECOVERY: 1, _ARRIVAL: 2, _ITERATION: 3}
 
 
 @dataclass(frozen=True)
@@ -92,6 +114,21 @@ class SchedulerConfig:
         )
 
 
+@dataclass
+class _Segment:
+    """One contiguous running stretch of a job, for the merged Chrome trace."""
+
+    job: str
+    partition: str
+    start: float
+    switch_seconds: float
+    iter_seconds: float
+    profile: IterationProfile
+    start_iteration: int
+    end: Optional[float] = None
+    end_iteration: Optional[int] = None
+
+
 class ClusterScheduler:
     """Multiplex concurrent RLHF jobs over one shared cluster."""
 
@@ -103,6 +140,7 @@ class ClusterScheduler:
         config: Optional[SchedulerConfig] = None,
         service: Optional[PlanService] = None,
         failures: Sequence[NodeFailure] = (),
+        trace_path: Optional[str] = None,
     ) -> None:
         names = [spec.name for spec in jobs]
         if len(set(names)) != len(names):
@@ -121,6 +159,7 @@ class ClusterScheduler:
             max_workers=4, estimator_cache_size=32
         )
         self.failures = list(failures)
+        self.trace_path = trace_path
         self.jobs = [Job.from_spec(spec) for spec in jobs]
         self.manager = PartitionManager(cluster)
         self.costing = PlanCosting(
@@ -129,20 +168,24 @@ class ClusterScheduler:
             replan_search=self.config.resolved_replan_search(),
             prune=self.config.prune,
         )
+        self.profiler = IterationProfiler()
+        self.migration = MigrationCostModel(cluster)
+        self.kernel = SimKernel()
         self._queue: List[Job] = []
-        self._events: List[Tuple[float, int, int, object]] = []
-        self._seq = itertools.count()
         self._timeline: List[Dict[str, object]] = []
+        self._segments: List[_Segment] = []
+        self._open_segments: Dict[int, _Segment] = {}
         self._n_failures = 0
         self._n_recoveries = 0
         self._busy_until = 0.0
+        self._capacity_dirty = False
         self._stats_baseline = self.service.stats.snapshot()
 
     # ------------------------------------------------------------------ #
     # Event plumbing
     # ------------------------------------------------------------------ #
-    def _push(self, time: float, kind: int, payload: object) -> None:
-        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+    def _push(self, time: float, kind: str, payload: object) -> Event:
+        return self.kernel.schedule(time, kind, payload, priority=_PRIORITY[kind])
 
     def _log(self, time: float, event: str, job: Optional[Job], detail: str) -> None:
         self._timeline.append(
@@ -158,8 +201,8 @@ class ClusterScheduler:
         return [job for job in self.jobs if job.is_running]
 
     def _accrue(self, job: Job, time: float) -> None:
-        """Bank a job's running segment and extend the busy horizon."""
-        job.accrue(time)
+        """Bank a job's GPU time and extend the busy horizon."""
+        job.accrue_gpu_time(time)
         self._busy_until = max(self._busy_until, time)
 
     # ------------------------------------------------------------------ #
@@ -173,50 +216,71 @@ class ClusterScheduler:
             self._push(failure.time, _FAILURE, failure.node)
             if failure.recovery_time is not None:
                 self._push(failure.recovery_time, _RECOVERY, failure.node)
+        handlers = {
+            _ARRIVAL: self._handle_arrival,
+            _ITERATION: self._handle_iteration,
+            _FAILURE: self._handle_failure,
+            _RECOVERY: self._handle_recovery,
+        }
         try:
-            while self._events:
-                # Drain every event of the current timestamp before making
-                # scheduling decisions, so e.g. a simultaneous arrival is not
-                # starved by an elastic resize triggered a moment "earlier".
-                now = self._events[0][0]
-                while self._events and self._events[0][0] == now:
-                    time, kind, _, payload = heapq.heappop(self._events)
-                    if kind == _ARRIVAL:
-                        self._handle_arrival(time, payload)
-                    elif kind == _COMPLETION:
-                        self._handle_completion(time, payload)
-                    elif kind == _FAILURE:
-                        self._handle_failure(time, payload)
-                    elif kind == _RECOVERY:
-                        self._handle_recovery(time, payload)
-                self._dispatch(now)
+            # All events of one timestamp drain before scheduling decisions,
+            # so e.g. a simultaneous arrival is not starved by an elastic
+            # resize triggered a moment "earlier".  Iteration boundaries that
+            # free no capacity leave the dirty flag unset and skip dispatch.
+            self.kernel.run(
+                lambda event: handlers[event.kind](event.time, event.payload),
+                on_timestamp_drained=self._after_timestamp,
+            )
         finally:
             if self._owns_service:
                 self.service.close()
-        return self._report()
+        report = self._report()
+        if self.trace_path is not None:
+            report.trace_path = str(self.export_chrome_trace(self.trace_path))
+        return report
+
+    def _after_timestamp(self, time: float) -> None:
+        if self._capacity_dirty:
+            self._capacity_dirty = False
+            self._dispatch(time)
 
     # ------------------------------------------------------------------ #
     # Event handlers
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, time: float, job: Job) -> None:
         self._queue.append(job)
+        self._capacity_dirty = True
         self._log(time, "arrival", job, f"priority {job.spec.priority}")
 
-    def _handle_completion(self, time: float, payload: object) -> None:
+    def _handle_iteration(self, time: float, payload: object) -> None:
         job, generation = payload
         if job.generation != generation or not job.is_running:
             return  # stale event from before a displacement
         self._accrue(job, time)
+        job.iterations_done += 1.0
+        if job.iterations_done >= job.spec.target_iterations:
+            self._complete(job, time)
+        else:
+            job.iteration_started_at = time
+            job.pending_event = self._push(
+                time + job.seconds_per_iteration, _ITERATION, (job, job.generation)
+            )
+
+    def _complete(self, job: Job, time: float) -> None:
         job.phase = JobPhase.COMPLETED
         job.completed_at = time
         job.segment_started_at = None
+        job.pending_event = None
+        self._close_segment(job, time)
         self.manager.release(job.uid)
+        self._capacity_dirty = True
         self._log(time, "completion", job, f"{job.iterations_done:.1f} iterations")
         job.partition = None
 
     def _handle_failure(self, time: float, node: int) -> None:
         self._n_failures += 1
         failed_ids = self.manager.fail_node(node)
+        self._capacity_dirty = True
         self._log(time, "failure", None, f"node {node} down")
         for job in self._running():
             if job.partition is not None and job.partition.device_id_set & failed_ids:
@@ -225,22 +289,57 @@ class ClusterScheduler:
     def _handle_recovery(self, time: float, node: int) -> None:
         self._n_recoveries += 1
         self.manager.restore_node(node)
+        self._capacity_dirty = True
         self._log(time, "recovery", None, f"node {node} back")
 
-    def _displace(self, job: Job, time: float, reason: str) -> None:
-        """Stop a running job's segment and send it back to the queue."""
+    def _cut_segment(self, job: Job, time: float) -> None:
+        """Shared teardown of a running segment (displacement or migration).
+
+        Banks the GPU time, closes the trace segment, invalidates the
+        pending iteration event and remembers the located layout that
+        migration costs will be charged against.  The in-flight iteration is
+        lost — progress is iteration-granular.
+        """
         self._accrue(job, time)
+        self._close_segment(job, time)
+        if job.pending_event is not None:
+            self.kernel.cancel(job.pending_event)
+            job.pending_event = None
         job.generation += 1
+        job.prev_partition = job.partition
+        job.prev_plan = job.plan
+
+    def _displace(self, job: Job, time: float, reason: str) -> None:
+        """Cut a running job's segment and send it back to the queue.
+
+        The timeline names the interrupted intra-iteration phase.  After a
+        node failure the resident parameter copy is gone, so the eventual
+        re-placement pays a full reload instead of a relayout.
+        """
+        phase = job.current_phase(time)
+        self._cut_segment(job, time)
+        if reason == "failure":
+            job.lost_params = True
         self.manager.release(job.uid)
         job.partition = None
         job.plan = None
+        job.profile = None
         job.seconds_per_iteration = float("inf")
+        job.planned_seconds_per_iteration = float("inf")
         job.segment_started_at = None
+        job.iteration_started_at = None
         job.phase = JobPhase.PENDING
         if reason == "preemption":
             job.n_preemptions += 1
         self._queue.append(job)
-        self._log(time, "displaced", job, reason)
+        self._capacity_dirty = True
+        self._log(
+            time,
+            "displaced",
+            job,
+            f"{reason} during {phase} "
+            f"(iteration {int(job.iterations_done) + 1} lost)",
+        )
 
     # ------------------------------------------------------------------ #
     # Dispatch: placements, preemptions, elastic resizes
@@ -265,33 +364,72 @@ class ClusterScheduler:
         if self.config.elastic and self.policy.allows_resize and not self._queue:
             self._try_resizes(time)
 
+    def _start_segment(
+        self, job: Job, partition: Partition, candidate: Candidate, time: float
+    ) -> float:
+        """Begin a running segment: profile, charge migration, arm the clock.
+
+        Returns the parameter-switch seconds charged ahead of the first
+        iteration.
+        """
+        plan = candidate.plan
+        profile = self.profiler.profile(job, partition, plan)
+        switch = self.migration.switch_seconds(
+            job, job.prev_partition, job.prev_plan, partition, plan,
+            lost_params=job.lost_params,
+        )
+        job.lost_params = False
+        job.partition = partition
+        job.plan = plan
+        job.profile = profile
+        job.seconds_per_iteration = profile.seconds_per_iteration
+        job.planned_seconds_per_iteration = candidate.seconds_per_iteration
+        job.phase = JobPhase.RUNNING
+        job.segment_started_at = time
+        job.switch_seconds += switch
+        job.iteration_started_at = time + switch
+        job.pending_event = self._push(
+            time + switch + profile.seconds_per_iteration,
+            _ITERATION,
+            (job, job.generation),
+        )
+        segment = _Segment(
+            job=job.name,
+            partition=partition.describe(),
+            start=time,
+            switch_seconds=switch,
+            iter_seconds=profile.seconds_per_iteration,
+            profile=profile,
+            start_iteration=int(job.iterations_done),
+        )
+        self._segments.append(segment)
+        self._open_segments[job.uid] = segment
+        return switch
+
+    def _close_segment(self, job: Job, time: float) -> None:
+        segment = self._open_segments.pop(job.uid, None)
+        if segment is not None:
+            segment.end = time
+            segment.end_iteration = int(job.iterations_done)
+
     def _place(self, candidate: Candidate, time: float) -> None:
         job = candidate.job
         self._queue.remove(job)
         self.manager.allocate(candidate.partition, job.uid)
-        job.partition = candidate.partition
-        job.plan = candidate.plan
-        job.seconds_per_iteration = candidate.seconds_per_iteration
-        job.phase = JobPhase.RUNNING
-        job.segment_started_at = time
+        switch = self._start_segment(job, candidate.partition, candidate, time)
         replanned = job.first_started_at is not None
         if replanned:
             job.n_replans += 1
         else:
             job.first_started_at = time
-        self._schedule_completion(job, time)
         kind = "replan" if replanned else "placement"
-        self._log(
-            time,
-            kind,
-            job,
+        detail = (
             f"{candidate.partition.describe()}, "
-            f"{candidate.seconds_per_iteration:.2f} s/iter",
+            f"{job.seconds_per_iteration:.2f} s/iter"
         )
-
-    def _schedule_completion(self, job: Job, time: float) -> None:
-        finish = time + job.remaining_iterations * job.seconds_per_iteration
-        self._push(finish, _COMPLETION, (job, job.generation))
+        if switch > 0:
+            detail += f", {switch:.2f} s param switch"
+        self._log(time, kind, job, detail)
 
     def _drop_unplaceable(self, time: float) -> bool:
         """Give up on jobs no partition of the fully idle cluster can host.
@@ -315,7 +453,14 @@ class ClusterScheduler:
         return dropped
 
     def _try_resizes(self, time: float) -> None:
-        """Grow running jobs onto free capacity when re-planning pays off."""
+        """Grow running jobs onto free capacity when re-planning pays off.
+
+        Candidates are compared on the estimator's iterations/sec (the cost
+        model the search optimised) against the job's current *planned*
+        throughput, so the threshold compares like with like; the accepted
+        migration is then profiled through the engine and charged its real
+        parameter-movement cost like any other switch.
+        """
         for job in self._running():
             if job.partition is None or job.spec.gpu_ceiling <= job.partition.n_gpus:
                 continue
@@ -333,26 +478,22 @@ class ClusterScheduler:
             if not feasible:
                 continue
             best = max(feasible, key=lambda c: c.iterations_per_second)
-            if best.iterations_per_second <= job.throughput * self.config.resize_threshold:
+            if best.iterations_per_second <= job.planned_throughput * self.config.resize_threshold:
                 continue
-            # Migrate: close the current segment, move to the bigger partition.
-            self._accrue(job, time)
-            job.generation += 1
+            # Migrate: close the current segment (the in-flight iteration is
+            # lost), move the parameters, restart on the bigger partition.
+            self._cut_segment(job, time)
             self.manager.release(job.uid)
             self.manager.allocate(best.partition, job.uid)
-            job.partition = best.partition
-            job.plan = best.plan
-            job.seconds_per_iteration = best.seconds_per_iteration
-            job.segment_started_at = time
+            switch = self._start_segment(job, best.partition, best, time)
             job.n_resizes += 1
-            self._schedule_completion(job, time)
-            self._log(
-                time,
-                "resize",
-                job,
+            detail = (
                 f"grew to {best.partition.describe()}, "
-                f"{best.seconds_per_iteration:.2f} s/iter",
+                f"{job.seconds_per_iteration:.2f} s/iter"
             )
+            if switch > 0:
+                detail += f", {switch:.2f} s param switch"
+            self._log(time, "resize", job, detail)
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -392,6 +533,9 @@ class ClusterScheduler:
             replan_searches=self.costing.replan_stats,
             service_stats=self._service_stats_delta(),
             timeline=self._timeline,
+            n_events=self.kernel.n_processed,
+            engine_profile_runs=self.profiler.engine_runs,
+            total_switch_seconds=sum(job.switch_seconds for job in self.jobs),
         )
 
     def _service_stats_delta(self) -> Dict[str, float]:
@@ -410,6 +554,67 @@ class ClusterScheduler:
         )
         return delta
 
+    # ------------------------------------------------------------------ #
+    # Unified trace export
+    # ------------------------------------------------------------------ #
+    def record_chrome(self, recorder: TraceRecorder) -> None:
+        """Emit the run into a recorder: cluster events + per-job phases.
+
+        One merged trace: a ``cluster`` process carries the decision-level
+        timeline as instant events; each job gets a process with its running
+        segments, parameter-switch windows, iteration spans and — inside
+        every completed iteration — the engine-profiled call phases.
+        """
+        for entry in self._timeline:
+            label = entry["event"] if entry["job"] is None else f"{entry['event']}: {entry['job']}"
+            recorder.add_instant(
+                "cluster",
+                "events",
+                label,
+                float(entry["time"]),
+                category=str(entry["event"]),
+                args={"detail": entry["detail"]},
+            )
+        for segment in self._segments:
+            process = f"job {segment.job}"
+            end = segment.end if segment.end is not None else self._busy_until
+            recorder.add_span(
+                process, "segments", segment.partition, segment.start, end,
+                category="segment",
+            )
+            if segment.switch_seconds > 0:
+                # A segment cut inside its switch-in window ends before the
+                # switch would have finished; clamp so the drawn span never
+                # outlives the segment.
+                recorder.add_span(
+                    process, "segments", "param switch", segment.start,
+                    min(segment.start + segment.switch_seconds, end),
+                    category="switch",
+                )
+            first_boundary = segment.start + segment.switch_seconds
+            end_iteration = (
+                segment.end_iteration
+                if segment.end_iteration is not None
+                else segment.start_iteration
+            )
+            for k in range(end_iteration - segment.start_iteration):
+                base = first_boundary + k * segment.iter_seconds
+                recorder.add_span(
+                    process, "iterations", f"iter {segment.start_iteration + k}",
+                    base, base + segment.iter_seconds, category="iteration",
+                )
+                for call, (span_start, span_end) in sorted(segment.profile.call_spans.items()):
+                    recorder.add_span(
+                        process, call, call, base + span_start, base + span_end,
+                        category="phase",
+                    )
+
+    def export_chrome_trace(self, path: str) -> str:
+        """Write the merged Chrome trace of this run; returns the path."""
+        recorder = TraceRecorder()
+        self.record_chrome(recorder)
+        return str(recorder.save(path))
+
 
 def schedule_trace(
     cluster: ClusterSpec,
@@ -418,6 +623,7 @@ def schedule_trace(
     config: Optional[SchedulerConfig] = None,
     service: Optional[PlanService] = None,
     failures: Sequence[NodeFailure] = (),
+    trace_path: Optional[str] = None,
 ) -> ScheduleReport:
     """Convenience wrapper: build a :class:`ClusterScheduler` and run it once."""
     scheduler = ClusterScheduler(
@@ -427,5 +633,6 @@ def schedule_trace(
         config=config,
         service=service,
         failures=failures,
+        trace_path=trace_path,
     )
     return scheduler.run()

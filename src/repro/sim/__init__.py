@@ -1,0 +1,38 @@
+"""Shared discrete-event simulation kernel.
+
+Both simulators of the reproduction — the iteration-level runtime engine
+(:mod:`repro.runtime`) that produces the paper's Figure 11/12 and Table 6
+numbers, and the cluster-level multi-job scheduler (:mod:`repro.sched`) —
+are built on this package instead of hand-rolled event loops:
+
+* :mod:`repro.sim.kernel` — the event queue and monotone virtual clock
+  (:class:`SimKernel`).  Workload executors schedule
+  :class:`Event` records and drain them through :meth:`SimKernel.run`.
+* :mod:`repro.sim.resources` — per-resource occupancy bookkeeping
+  (:class:`ResourceTimeline`, :class:`TimelinePool`): busy spans per cost
+  category with FIFO enforcement, the substrate of per-GPU timelines.
+* :mod:`repro.sim.trace` — the unified span record (:class:`TraceSpan`) and
+  the Chrome-trace (``chrome://tracing`` / Perfetto JSON) exporter
+  (:class:`TraceRecorder`), so a single run — one engine iteration or a
+  whole multi-job schedule — exports one merged, loadable trace file.
+"""
+
+from .kernel import Event, SimKernel
+from .resources import ResourceTimeline, TimelinePool
+from .trace import (
+    TraceRecorder,
+    TraceSpan,
+    load_chrome_trace,
+    validate_chrome_events,
+)
+
+__all__ = [
+    "Event",
+    "SimKernel",
+    "ResourceTimeline",
+    "TimelinePool",
+    "TraceSpan",
+    "TraceRecorder",
+    "validate_chrome_events",
+    "load_chrome_trace",
+]

@@ -1,0 +1,103 @@
+"""Resource occupancy bookkeeping shared by all simulators.
+
+A :class:`ResourceTimeline` records when one resource (a GPU in both current
+simulators) is busy, with what and in which cost category, as a sequence of
+:class:`~repro.sim.trace.TraceSpan` records.  A :class:`TimelinePool` indexes
+the timelines of a whole cluster and answers group-availability queries.
+
+The runtime engine's per-GPU model workers (:mod:`repro.runtime.worker`) are
+thin extensions of these classes (they add model-residency tracking); the
+cluster scheduler uses the same span records when exporting job phases into
+the merged Chrome trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .trace import TraceSpan
+
+__all__ = ["ResourceTimeline", "TimelinePool"]
+
+
+class ResourceTimeline:
+    """Busy-time ledger of one resource, FIFO-ordered.
+
+    ``occupy`` charges a sequence of per-category durations starting at
+    ``start`` and returns the completion time.  Starts may not precede the
+    resource's current availability — the executor is responsible for
+    querying :attr:`free_at` first, which is exactly the FIFO discipline the
+    paper's model workers enforce on their request queues.
+    """
+
+    __slots__ = ("resource_id", "free_at", "spans")
+
+    def __init__(self, resource_id: int) -> None:
+        self.resource_id = resource_id
+        self.free_at: float = 0.0
+        self.spans: List[TraceSpan] = []
+
+    def occupy(self, start: float, durations: Mapping[str, float], label: str) -> float:
+        """Occupy the resource from ``start`` for the per-category durations.
+
+        Zero and negative durations are skipped.  Returns the completion
+        time; raises ``ValueError`` when ``start`` precedes availability.
+        """
+        if start < self.free_at - 1e-9:
+            raise ValueError(
+                f"resource {self.resource_id} asked to start at {start:.3f} "
+                f"but is busy until {self.free_at:.3f}"
+            )
+        clock = start
+        for category, duration in durations.items():
+            if duration <= 0:
+                continue
+            self.spans.append(
+                TraceSpan(name=label, category=category, start=clock, end=clock + duration)
+            )
+            clock += duration
+        self.free_at = max(self.free_at, clock)
+        return clock
+
+    def busy_seconds(self, category: Optional[str] = None) -> float:
+        """Total busy time, optionally restricted to one cost category."""
+        return sum(s.duration for s in self.spans if category is None or s.category == category)
+
+    def categories(self) -> Dict[str, float]:
+        """Busy seconds per cost category."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            out[span.category] = out.get(span.category, 0.0) + span.duration
+        return out
+
+
+class TimelinePool:
+    """The timelines of a whole cluster, indexed by resource id."""
+
+    def __init__(self, resources: Union[int, Iterable[int]]) -> None:
+        ids = range(resources) if isinstance(resources, int) else resources
+        self.timelines: Dict[int, ResourceTimeline] = {
+            rid: ResourceTimeline(resource_id=rid) for rid in ids
+        }
+
+    def __getitem__(self, resource_id: int) -> ResourceTimeline:
+        return self.timelines[resource_id]
+
+    def __len__(self) -> int:
+        return len(self.timelines)
+
+    def free_at(self, resource_ids: Tuple[int, ...]) -> float:
+        """Earliest time at which every resource in the group is free."""
+        return max(self.timelines[rid].free_at for rid in resource_ids)
+
+    def total_busy(self, category: Optional[str] = None) -> float:
+        """Aggregate busy seconds across all timelines."""
+        return sum(t.busy_seconds(category) for t in self.timelines.values())
+
+    def category_totals(self) -> Dict[str, float]:
+        """Aggregate busy seconds per category across all timelines."""
+        out: Dict[str, float] = {}
+        for timeline in self.timelines.values():
+            for category, seconds in timeline.categories().items():
+                out[category] = out.get(category, 0.0) + seconds
+        return out

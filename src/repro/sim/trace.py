@@ -1,0 +1,234 @@
+"""Unified span records and Chrome-trace (Trace Event Format) export.
+
+Every simulator in the repository describes busy time the same way: a
+:class:`TraceSpan` — who (``name``), what kind of work (``category``) and
+when (``start``/``end`` in virtual seconds).  A :class:`TraceRecorder`
+collects spans and instantaneous markers from any number of sources (one
+engine iteration, a whole multi-job schedule, or both merged) and exports
+them as Chrome-trace JSON, loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+The exporter emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
+complete events (``ph: "X"``) for spans, instant events (``ph: "i"``) for
+markers and metadata events (``ph: "M"``) naming processes and threads.
+Timestamps are microseconds; process/thread labels are interned to stable
+integer ids.  :func:`validate_chrome_events` checks the required keys
+(``ph``, ``ts``, ``pid``, ``tid``, ``name``) so exports are guaranteed to
+load cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = ["TraceSpan", "TraceRecorder", "validate_chrome_events", "load_chrome_trace"]
+
+_US_PER_S = 1e6
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One interval of work on some resource, in virtual seconds."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def call_name(self) -> str:
+        """Compatibility alias: the runtime engine labels spans by call name."""
+        return self.name
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans/markers from many sources into one Chrome trace.
+
+    ``process`` and ``thread`` are human-readable labels (e.g. the job name
+    and ``"gpu 3"``); the recorder interns them to the integer ``pid``/``tid``
+    ids the Trace Event Format requires and emits the matching metadata
+    events, so the labels show up in the Perfetto UI.
+    """
+
+    _events: List[Dict[str, Any]] = field(default_factory=list)
+    _pids: Dict[str, int] = field(default_factory=dict)
+    _tids: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Label interning
+    # ------------------------------------------------------------------ #
+    def _pid(self, process: str) -> int:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self._events.append(
+                {
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": process},
+                }
+            )
+        return pid
+
+    def _tid(self, process: str, thread: str) -> int:
+        key = (process, thread)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = sum(1 for (p, _t) in self._tids if p == process) + 1
+            self._tids[key] = tid
+            self._events.append(
+                {
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": self._pid(process),
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": thread},
+                }
+            )
+        return tid
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def add_span(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        category: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one complete (``ph: "X"``) event from virtual seconds."""
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "ts": start_s * _US_PER_S,
+            "dur": max(0.0, end_s - start_s) * _US_PER_S,
+            "pid": self._pid(process),
+            "tid": self._tid(process, thread),
+            "name": name,
+        }
+        if category:
+            event["cat"] = category
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def add_trace_span(
+        self,
+        process: str,
+        thread: str,
+        span: TraceSpan,
+        offset_s: float = 0.0,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record a :class:`TraceSpan`, optionally shifted by ``offset_s``.
+
+        The offset is how per-iteration engine spans (whose clock starts at
+        zero every iteration) are embedded at their true position inside a
+        cluster-level schedule.
+        """
+        self.add_span(
+            process,
+            thread,
+            span.name,
+            span.start + offset_s,
+            span.end + offset_s,
+            category=span.category,
+            args=args,
+        )
+
+    def add_instant(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        time_s: float,
+        category: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one instant (``ph: "i"``) marker event."""
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "ts": time_s * _US_PER_S,
+            "pid": self._pid(process),
+            "tid": self._tid(process, thread),
+            "name": name,
+            "s": "t",
+        }
+        if category:
+            event["cat"] = category
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The recorded Trace Event Format events (validated)."""
+        validate_chrome_events(self._events)
+        return list(self._events)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The full Chrome-trace JSON object."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            json.dump(self.to_json(), handle)
+        return path
+
+
+_REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def validate_chrome_events(events: Sequence[Mapping[str, Any]]) -> None:
+    """Check every event carries the Trace Event Format required keys.
+
+    Raises ``ValueError`` on the first violation: a missing required key, a
+    non-numeric timestamp, or a complete event without a duration.
+    """
+    for index, event in enumerate(events):
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"trace event {index} misses required key {key!r}: {event}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"trace event {index} has non-numeric ts: {event['ts']!r}")
+        if event["ph"] == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ValueError(f"complete trace event {index} misses numeric 'dur': {event}")
+
+
+def load_chrome_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a Chrome-trace JSON file and validate its events.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the bare
+    array form; returns the validated event list.
+    """
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    events = payload["traceEvents"] if isinstance(payload, dict) else payload
+    validate_chrome_events(events)
+    return events

@@ -123,3 +123,38 @@ class TestFindExecutionPlan:
 
         with pytest.raises(KeyError):
             find_execution_plan("alpaca", "7b", "7b", n_gpus=8)
+
+
+class TestRunIterationTrace:
+    def test_search_then_simulate_with_export(self, tmp_path):
+        from repro.core import run_iteration_trace
+        from repro.sim import load_chrome_trace
+
+        path = tmp_path / "iteration.json"
+        trace, experiment = run_iteration_trace(
+            "ppo",
+            n_gpus=8,
+            batch_size=64,
+            search=SearchConfig(max_iterations=60, time_budget_s=5, seed=0),
+            trace_path=str(path),
+        )
+        assert trace.total_seconds > 0
+        assert set(trace.call_spans) == set(experiment.graph.call_names)
+        events = load_chrome_trace(path)
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert set(experiment.graph.call_names) <= span_names
+
+    def test_explicit_plan_skips_search(self):
+        from repro.cluster import make_cluster
+        from repro.core import ParallelStrategy, run_iteration_trace, symmetric_plan
+        from repro.algorithms import build_graph
+
+        plan = symmetric_plan(
+            build_graph("grpo"), make_cluster(8), ParallelStrategy(1, 8, 1),
+            n_microbatches=4,
+        )
+        trace, experiment = run_iteration_trace(
+            "grpo", n_gpus=8, batch_size=64, plan=plan
+        )
+        assert experiment.graph.name == "grpo"
+        assert trace.total_seconds > 0

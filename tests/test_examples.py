@@ -39,6 +39,7 @@ def test_examples_directory_complete():
         "multi_job_scheduling",
         "quickstart",
         "tiny_rlhf_training",
+        "trace_export",
     ]
 
 
@@ -97,6 +98,22 @@ def test_multi_job_scheduling_tiny_run(monkeypatch, capsys):
     assert "GPU utilization" in out
 
 
+def test_trace_export_tiny_run(monkeypatch, capsys, tmp_path):
+    _run_main(
+        monkeypatch,
+        "trace_export",
+        ["--gpus", "16", "--search-iterations", "25", "--out-dir", str(tmp_path)],
+    )
+    out = capsys.readouterr().out
+    assert "engine iteration" in out
+    assert "merged trace" in out
+    # Both exported files load cleanly and validate as Chrome traces.
+    from repro.sim import load_chrome_trace
+
+    assert load_chrome_trace(tmp_path / "iteration_trace.json")
+    assert load_chrome_trace(tmp_path / "schedule_trace.json")
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -105,6 +122,7 @@ def test_multi_job_scheduling_tiny_run(monkeypatch, capsys):
         "long_context_planning",
         "tiny_rlhf_training",
         "multi_job_scheduling",
+        "trace_export",
     ],
 )
 def test_example_imports_cleanly(name):

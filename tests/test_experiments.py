@@ -177,3 +177,35 @@ class TestAblations:
         assert [l.name for l in levels][0].startswith("3D parallelism")
         assert len(levels) == 4
         assert levels[-1].seconds_per_iteration <= levels[0].seconds_per_iteration * 1.05
+
+
+class TestSchedulerComparisonTraces:
+    def test_trace_dir_exports_one_merged_trace_per_policy(self, tmp_path):
+        from repro.cluster import make_cluster
+        from repro.core import SearchConfig
+        from repro.experiments import run_scheduler_comparison
+        from repro.sched import JobSpec, SchedulerConfig
+        from repro.sim import load_chrome_trace
+
+        config = SchedulerConfig(
+            search=SearchConfig(max_iterations=25, time_budget_s=0.5, record_history=False)
+        )
+        jobs = [
+            JobSpec(name="a", batch_size=64, target_iterations=3, min_gpus=8, max_gpus=8),
+            JobSpec(name="b", batch_size=64, target_iterations=3, min_gpus=8, max_gpus=8),
+        ]
+        reports = run_scheduler_comparison(
+            make_cluster(16),
+            jobs,
+            policies=["first_fit", "best_throughput"],
+            config=config,
+            trace_dir=str(tmp_path),
+        )
+        assert [r.policy for r in reports] == ["first_fit", "best_throughput"]
+        for report in reports:
+            assert report.trace_path is not None
+            assert load_chrome_trace(report.trace_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "schedule_best_throughput.json",
+            "schedule_first_fit.json",
+        ]

@@ -1,0 +1,140 @@
+"""Golden-trace regression tests for the ``repro.sim`` kernel refactor.
+
+The fixtures under ``tests/fixtures/`` were captured from the simulators
+*before* they were rebuilt on the shared kernel (see
+``tests/fixtures/make_golden.py``):
+
+* The runtime engine must reproduce its golden :class:`IterationTrace`
+  outputs **bit-identically** — floats compared with ``==`` at full
+  precision — on the Figure 11/12 setups (PPO and GRPO, symmetric and
+  heterogeneous plans).
+* The cluster scheduler's progress model intentionally improved (engine-
+  derived per-iteration times instead of the estimator scalar, iteration-
+  granular progress, real parameter-migration costs), so its golden
+  :class:`ScheduleReport` is asserted within a documented tolerance and the
+  direction of every intentional delta is checked explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+sys.path.insert(0, str(FIXTURES))
+
+from make_golden import (  # noqa: E402  (fixture helpers double as regeneration script)
+    engine_scenarios,
+    schedule_scenarios,
+)
+
+
+def _load(name: str) -> dict:
+    with (FIXTURES / name).open() as handle:
+        return json.load(handle)
+
+
+class TestEngineBitIdentical:
+    """The kernel-based engine reproduces the pre-refactor traces exactly."""
+
+    @pytest.fixture(scope="class")
+    def current(self):
+        return dict(engine_scenarios())
+
+    @pytest.mark.parametrize(
+        "scenario", ["ppo_symmetric", "ppo_heterogeneous", "grpo_symmetric"]
+    )
+    def test_trace_bit_identical(self, current, scenario):
+        golden = _load(f"golden_engine_{scenario}.json")
+        fresh = current[scenario]
+        # Bit-identical: every float in the trace payload must round-trip
+        # to exactly the recorded value — json.dumps uses repr precision.
+        assert json.loads(json.dumps(fresh["trace"])) == golden["trace"]
+        assert (
+            fresh["throughput"]["seconds_per_iteration"]
+            == golden["throughput"]["seconds_per_iteration"]
+        )
+
+    def test_plan_payloads_match(self, current):
+        for scenario in ("ppo_symmetric", "ppo_heterogeneous", "grpo_symmetric"):
+            golden = _load(f"golden_engine_{scenario}.json")
+            assert current[scenario]["plan"] == golden["plan"]
+
+
+class TestSchedulerWithinTolerance:
+    """The trace-driven scheduler matches the goldens up to the documented,
+    intentional progress-model improvements."""
+
+    #: Relative tolerance on makespan and per-job completion times.  The old
+    #: model advanced jobs at the estimator's seconds/iteration; the new one
+    #: advances at the engine-simulated pace, which deliberately differs by
+    #: a few percent (dispatch overheads, exact broadcast schedules).
+    RELATIVE_TOLERANCE = 0.10
+
+    @pytest.fixture(scope="class")
+    def current(self):
+        return dict(schedule_scenarios())
+
+    @pytest.mark.parametrize("scenario", ["clean", "failure"])
+    def test_structure_identical(self, current, scenario):
+        golden = _load(f"golden_schedule_{scenario}.json")
+        fresh = current[scenario]
+        # Decision-level behaviour is unchanged: same event sequence, same
+        # iteration counts, same replan/preemption/resize counters.
+        assert fresh["timeline_events"] == golden["timeline_events"]
+        assert fresh["total_iterations"] == golden["total_iterations"]
+        assert fresh["n_replans"] == golden["n_replans"]
+        assert fresh["n_preemptions"] == golden["n_preemptions"]
+        assert fresh["n_resizes"] == golden["n_resizes"]
+        for name, job in fresh["jobs"].items():
+            assert job["phase"] == golden["jobs"][name]["phase"]
+            assert job["iterations"] == golden["jobs"][name]["iterations"]
+            assert job["first_started_at"] == pytest.approx(
+                golden["jobs"][name]["first_started_at"]
+            )
+
+    @pytest.mark.parametrize("scenario", ["clean", "failure"])
+    def test_times_within_tolerance(self, current, scenario):
+        golden = _load(f"golden_schedule_{scenario}.json")
+        fresh = current[scenario]
+        assert fresh["makespan"] == pytest.approx(
+            golden["makespan"], rel=self.RELATIVE_TOLERANCE
+        )
+        assert fresh["busy_horizon"] == pytest.approx(
+            golden["busy_horizon"], rel=self.RELATIVE_TOLERANCE
+        )
+        for name, job in fresh["jobs"].items():
+            assert job["completed_at"] == pytest.approx(
+                golden["jobs"][name]["completed_at"], rel=self.RELATIVE_TOLERANCE
+            )
+            assert job["gpu_seconds"] == pytest.approx(
+                golden["jobs"][name]["gpu_seconds"], rel=self.RELATIVE_TOLERANCE
+            )
+
+    def test_failure_delta_is_the_documented_improvement(self, current):
+        """The displaced job finishes *later* than the fractional model said.
+
+        Two intentional changes push its completion out: (1) progress is
+        iteration-granular, so the iteration in flight when node 0 failed is
+        lost instead of fractionally banked, and (2) the re-placement after
+        a failure pays a real parameter reload
+        (:class:`repro.sched.profiles.MigrationCostModel`).  Together these
+        add at most ~one iteration period plus the reload, and its billed
+        GPU time grows by exactly the redone work.
+        """
+        golden = _load("golden_schedule_failure.json")["jobs"]["ppo-a"]
+        fresh = current["failure"]["jobs"]["ppo-a"]
+        delta = fresh["completed_at"] - golden["completed_at"]
+        iter_seconds = fresh["completed_at"] and (
+            # Engine pace of the job: recover it from the clean scenario,
+            # where ppo-a runs 6 uninterrupted iterations from t=0.
+            current["clean"]["jobs"]["ppo-a"]["completed_at"] / 6.0
+        )
+        assert delta >= -1e-6, "iteration-granular progress cannot finish earlier"
+        assert delta <= 1.5 * iter_seconds + 1.0, (
+            "losing one in-flight iteration plus a parameter reload bounds the delta"
+        )
+        assert fresh["gpu_seconds"] >= golden["gpu_seconds"] - 1e-6

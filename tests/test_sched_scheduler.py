@@ -43,6 +43,16 @@ class TestJobSpec:
         with pytest.raises(ValueError):
             JobSpec(name="x", arrival_time=-1.0)
 
+    def test_unknown_algorithm_rejected_at_submission(self):
+        # A typo'd algorithm must fail at JobSpec construction with the
+        # available names listed, not as a KeyError deep inside the
+        # scheduler's event loop.
+        with pytest.raises(ValueError, match="unknown RLHF algorithm.*ppo"):
+            JobSpec(name="typo", algorithm="ppov2")
+
+    def test_algorithm_names_are_case_insensitive(self):
+        assert JobSpec(name="x", algorithm="GRPO").build_graph().call_names
+
     def test_builders(self):
         spec = JobSpec(name="x", algorithm="grpo")
         graph = spec.build_graph()
@@ -314,6 +324,106 @@ class TestUnplaceableJobs:
         assert phases["ok"] == JobPhase.COMPLETED.value
         assert phases["huge"] == JobPhase.UNPLACEABLE.value
         assert not report.all_completed
+
+
+class TestTraceDrivenProgress:
+    def test_progress_is_iteration_granular(self):
+        report = schedule_trace(
+            make_cluster(16), [tiny_job("a"), tiny_job("b")],
+            policy="first_fit", config=TINY,
+        )
+        for job in report.jobs:
+            assert job.iterations == float(int(job.iterations))
+        assert report.n_events > 0
+        assert report.engine_profile_runs >= 1
+
+    def test_iteration_pace_is_engine_derived(self):
+        # The completion lands exactly target_iterations engine-iteration
+        # periods after the start (clean single-job run, no displacement).
+        from repro.sched import IterationProfiler
+
+        scheduler = ClusterScheduler(
+            make_cluster(8), [tiny_job("a")], policy="first_fit", config=TINY
+        )
+        report = scheduler.run()
+        job = report.jobs[0]
+        assert report.engine_profile_runs == 1
+        runtime_job = scheduler.jobs[0]
+        period = runtime_job.seconds_per_iteration
+        assert job.completed_at == pytest.approx(4 * period)
+        # The engine pace deliberately differs from the estimator's scalar.
+        assert period != runtime_job.planned_seconds_per_iteration
+
+    def test_displacement_charges_switch_cost_and_names_phase(self):
+        jobs = [tiny_job("a", target_iterations=20)]
+        failure = NodeFailure(time=20.0, node=0, recovery_time=40.0)
+        report = schedule_trace(
+            make_cluster(8), jobs, policy="first_fit", config=TINY,
+            failures=[failure],
+        )
+        assert report.all_completed
+        # A failure destroys the resident parameters: the replacement pays
+        # a real (positive) reload priced by the realloc cost model.
+        assert report.total_switch_seconds > 0
+        displaced = next(e for e in report.timeline if e["event"] == "displaced")
+        assert "during" in displaced["detail"]
+        assert "lost" in displaced["detail"]
+        replan = next(e for e in report.timeline if e["event"] == "replan")
+        assert "param switch" in replan["detail"]
+
+    def test_lost_iteration_still_bills_gpu_time(self):
+        # Interrupting an iteration loses the progress but not the bill:
+        # gpu_seconds exceeds completed_iterations * period * n_gpus.
+        jobs = [tiny_job("a", target_iterations=20)]
+        failure = NodeFailure(time=20.0, node=0, recovery_time=40.0)
+        scheduler = ClusterScheduler(
+            make_cluster(8), jobs, policy="first_fit", config=TINY,
+            failures=[failure],
+        )
+        report = scheduler.run()
+        job = report.jobs[0]
+        period = scheduler.jobs[0].seconds_per_iteration
+        assert job.gpu_seconds > job.iterations * period * 8 - 1e-6
+
+    def test_merged_chrome_trace_spans_cluster_and_job_phases(self, tmp_path):
+        from repro.sim import load_chrome_trace
+
+        path = tmp_path / "schedule.json"
+        report = schedule_trace(
+            make_cluster(16),
+            [tiny_job("a"), tiny_job("b", arrival_time=5.0)],
+            policy="first_fit",
+            config=TINY,
+            failures=[NodeFailure(time=15.0, node=0, recovery_time=30.0)],
+            trace_path=str(path),
+        )
+        assert report.trace_path == str(path)
+        events = load_chrome_trace(path)
+        processes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"cluster", "job a", "job b"} <= processes
+        categories = {e.get("cat") for e in events}
+        # Cluster-level events and intra-iteration phases in one file.
+        assert {"failure", "segment", "iteration", "phase"} <= categories
+        assert any(e["ph"] == "i" for e in events)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_no_trace_path_skips_export(self):
+        report = schedule_trace(
+            make_cluster(8), [tiny_job("a")], policy="first_fit", config=TINY
+        )
+        assert report.trace_path is None
+
+    def test_profile_cache_shared_across_same_spec_jobs(self):
+        report = schedule_trace(
+            make_cluster(16), [tiny_job("a"), tiny_job("b")],
+            policy="first_fit", config=TINY,
+        )
+        # Two identical jobs on same-shaped partitions need one engine run.
+        assert report.engine_profile_runs == 1
 
 
 class TestStaticEqualBaseline:
