@@ -235,9 +235,27 @@ def main(argv=None) -> int:
     _print(report)
     _check(report)
     write_report(report, output)
+    _write_metrics_snapshot(output, report)
     rate = report["metrics"]["engine_iterations_per_sec"]["value"]
     print(f"\nOK: {rate:.1f} engine iterations simulated per second, traces exported")
     return 0
+
+
+def _write_metrics_snapshot(bench_output: Path, report: Dict[str, object]) -> None:
+    """Dump the live telemetry registry next to the benchmark report
+    (``METRICS_runtime_trace[.smoke].json``, uploaded as a CI artifact)."""
+    from repro.obs import get_registry, write_metrics_snapshot
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    path = bench_output.with_name(
+        bench_output.name.replace("BENCH_", "METRICS_", 1)
+    )
+    write_metrics_snapshot(
+        registry, path, extra={"benchmark": report["benchmark"], "mode": report["mode"]}
+    )
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -95,6 +95,7 @@ def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
     # --- Policy comparison, sharing one plan service (and thus one cache:
     # --- same-shaped partitions are exact hits across policies).
     with PlanService(max_workers=4, estimator_cache_size=32) as service:
+        baseline = service.stats.snapshot()
         reports = run_scheduler_comparison(
             cluster,
             jobs,
@@ -107,7 +108,9 @@ def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
             config=config,
             plan_service=service,
         )
-        service_stats = service.stats.snapshot().to_dict()
+        # Delta arithmetic, not a raw snapshot: attribute only this
+        # comparison's traffic even if the service is later reused/pre-warmed.
+        service_stats = (service.stats.snapshot() - baseline).to_dict()
     by_policy = {report.policy: report for report in reports}
 
     # --- Failure injection on a fresh service, so cold vs. warm-started

@@ -373,9 +373,31 @@ def main(argv=None) -> int:
     # committed baseline with regressed numbers.
     _check(report, smoke=args.smoke)
     write_report(report, output)
+    _write_metrics_snapshot(output, report)
     speedup = report["metrics"]["parallel_speedup_n4"]["value"]
     print(f"\nOK: {speedup:.2f}x wall-clock speedup at n_chains={N_CHAINS}, bit-identical plans")
     return 0
+
+
+def _write_metrics_snapshot(bench_output: Path, report: Dict[str, object]) -> None:
+    """Dump the live telemetry registry next to the benchmark report.
+
+    The run's instrumented subsystems (search, service, costing, kernel)
+    have been reporting into the global registry; the snapshot lands in
+    ``METRICS_search_scaling[.smoke].json`` and is uploaded as a CI artifact.
+    """
+    from repro.obs import get_registry, write_metrics_snapshot
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    path = bench_output.with_name(
+        bench_output.name.replace("BENCH_", "METRICS_", 1)
+    )
+    write_metrics_snapshot(
+        registry, path, extra={"benchmark": report["benchmark"], "mode": report["mode"]}
+    )
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

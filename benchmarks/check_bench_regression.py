@@ -1,8 +1,10 @@
 """Fail-soft perf-regression check over committed ``BENCH_*.json`` baselines.
 
 Compares the metrics of a freshly produced benchmark report against the
-committed baseline and reports every metric that moved more than the
-threshold in the *bad* direction (each metric declares its own
+committed baseline and prints **every** metric's movement — direction,
+percentage and values — so a passing check still documents how the run
+compared, not just that it passed.  A metric regresses when it moved more
+than the threshold in the *bad* direction (each metric declares its own
 ``higher_is_better``).  The check is **fail-soft** by design: benchmark
 machines differ (the committed baselines come from a dev box, CI runners
 vary run to run), so regressions are reported as warnings and the exit code
@@ -26,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List
 
@@ -35,36 +38,88 @@ def load_report(path: Path) -> Dict[str, object]:
         return json.load(handle)
 
 
+@dataclass(frozen=True)
+class MetricComparison:
+    """How one metric moved between baseline and current report."""
+
+    name: str
+    base_value: float
+    cur_value: float
+    change: float
+    """Relative change ``(cur - base) / |base|`` (0.0 when base is 0)."""
+    higher_is_better: bool
+    threshold: float
+    regressed: bool
+    missing: bool = False
+
+    def describe(self) -> str:
+        """One human-readable line: direction, size and verdict."""
+        if self.missing:
+            return f"{self.name}: present in baseline but missing now [REGRESSED]"
+        if self.change > 0:
+            direction = "rose"
+        elif self.change < 0:
+            direction = "dropped"
+        else:
+            direction = "unchanged"
+        better = "higher is better" if self.higher_is_better else "lower is better"
+        line = (
+            f"{self.name}: {direction} {abs(self.change) * 100:.1f}% "
+            f"({self.base_value:.4g} -> {self.cur_value:.4g}, {better}, "
+            f"tolerance {self.threshold * 100:.0f}%)"
+        )
+        return f"{line} [REGRESSED]" if self.regressed else f"{line} [ok]"
+
+
 def compare(
     baseline: Dict[str, object],
     current: Dict[str, object],
     threshold: float,
-) -> List[str]:
-    """Return one human-readable line per regressed metric."""
+) -> List[MetricComparison]:
+    """Compare every baseline metric; returns one record per metric."""
     base_metrics = baseline.get("metrics", {})
     cur_metrics = current.get("metrics", {})
     if baseline.get("mode") != current.get("mode"):
         threshold = threshold * 2
-    regressions: List[str] = []
+    comparisons: List[MetricComparison] = []
     for name, base_entry in sorted(base_metrics.items()):
         cur_entry = cur_metrics.get(name)
-        if cur_entry is None:
-            regressions.append(f"{name}: present in baseline but missing now")
-            continue
-        base_value = float(base_entry["value"])
-        cur_value = float(cur_entry["value"])
         higher_is_better = bool(base_entry.get("higher_is_better", True))
-        if base_value == 0:
-            continue
-        change = (cur_value - base_value) / abs(base_value)
-        regressed = change < -threshold if higher_is_better else change > threshold
-        if regressed:
-            direction = "dropped" if higher_is_better else "rose"
-            regressions.append(
-                f"{name}: {direction} {abs(change) * 100:.1f}% "
-                f"({base_value:.4g} -> {cur_value:.4g}, tolerance {threshold * 100:.0f}%)"
+        base_value = float(base_entry["value"])
+        if cur_entry is None:
+            comparisons.append(
+                MetricComparison(
+                    name=name,
+                    base_value=base_value,
+                    cur_value=float("nan"),
+                    change=0.0,
+                    higher_is_better=higher_is_better,
+                    threshold=threshold,
+                    regressed=True,
+                    missing=True,
+                )
             )
-    return regressions
+            continue
+        cur_value = float(cur_entry["value"])
+        change = (cur_value - base_value) / abs(base_value) if base_value else 0.0
+        if base_value == 0:
+            regressed = False
+        elif higher_is_better:
+            regressed = change < -threshold
+        else:
+            regressed = change > threshold
+        comparisons.append(
+            MetricComparison(
+                name=name,
+                base_value=base_value,
+                cur_value=cur_value,
+                change=change,
+                higher_is_better=higher_is_better,
+                threshold=threshold,
+                regressed=regressed,
+            )
+        )
+    return comparisons
 
 
 def main(argv=None) -> int:
@@ -88,17 +143,20 @@ def main(argv=None) -> int:
 
     baseline = load_report(args.baseline)
     current = load_report(args.current)
-    regressions = compare(baseline, current, args.threshold)
+    comparisons = compare(baseline, current, args.threshold)
+    regressions = [c for c in comparisons if c.regressed]
     label = f"{current.get('benchmark', args.current.name)}"
+    verdict = "OK" if not regressions else "REGRESSION WARNING"
+    print(
+        f"perf check {verdict}: {label} "
+        f"({len(comparisons) - len(regressions)}/{len(comparisons)} metrics within "
+        f"tolerance; baseline mode={baseline.get('mode')}, "
+        f"current mode={current.get('mode')})"
+    )
+    for comparison in comparisons:
+        print(f"  - {comparison.describe()}")
     if not regressions:
-        print(
-            f"perf check OK: {label} within {args.threshold * 100:.0f}% of baseline "
-            f"(baseline mode={baseline.get('mode')}, current mode={current.get('mode')})"
-        )
         return 0
-    print(f"PERF REGRESSION WARNING: {label} vs committed baseline")
-    for line in regressions:
-        print(f"  - {line}")
     if not args.strict:
         print("(fail-soft: benchmark machines differ; investigate before trusting)")
     return 1 if args.strict else 0

@@ -317,6 +317,7 @@ def schedule_jobs(
     service: Optional["PlanService"] = None,
     failures: Sequence["NodeFailure"] = (),
     trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> "ScheduleReport":
     """One-call entry point of the multi-job cluster scheduler.
 
@@ -328,8 +329,10 @@ def schedule_jobs(
     utilization) is returned.  Passing a
     :class:`~repro.service.server.PlanService` shares the plan cache with
     other callers; otherwise the scheduler owns (and closes) a private one.
-    ``trace_path`` exports one merged Chrome trace spanning cluster events
-    and every job's engine-profiled iteration phases.
+    ``trace_path`` exports one merged Chrome trace spanning cluster events,
+    live counter tracks and every job's engine-profiled iteration phases;
+    ``metrics_path`` writes the run's ``METRICS_*.json`` registry snapshot
+    (defaults to ``METRICS_<trace stem>.json`` next to an exported trace).
     """
     from ..sched.scheduler import schedule_trace  # local import avoids a cycle
 
@@ -342,4 +345,5 @@ def schedule_jobs(
         service=service,
         failures=failures,
         trace_path=trace_path,
+        metrics_path=metrics_path,
     )

@@ -59,6 +59,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..cluster.hardware import ClusterSpec
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
 from .dataflow import DataflowGraph
 from .plan import Allocation, ExecutionPlan
 from .workload import RLHFWorkload
@@ -411,6 +413,15 @@ class ParallelSearchRunner:
             # identical either way.  The abandoned pool is shut down without
             # waiting so a wedged child cannot hold this thread hostage.
             self.last_error = exc
+            get_logger("search").warning(
+                "parallel search fell back to in-process execution: %s: %s",
+                type(exc).__name__,
+                exc,
+            )
+            get_registry().counter(
+                "search_parallel_fallbacks_total",
+                "Process-parallel searches degraded to in-process execution",
+            ).inc()
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
             return None

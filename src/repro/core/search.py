@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster.hardware import ClusterSpec
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
 from .dataflow import DataflowGraph
 from .estimator import DEFAULT_OOM_PENALTY, RuntimeEstimator
 from .parallel_search import (
@@ -414,7 +416,7 @@ class MCMCSearcher:
                     for spec in specs
                 ]
 
-        return self._merge_results(
+        merged = self._merge_results(
             results,
             initial_plan=initial_plan,
             initial_cost=initial_cost,
@@ -424,6 +426,50 @@ class MCMCSearcher:
             execution_mode=execution_mode,
             n_workers=n_workers,
         )
+        self._publish_metrics(merged)
+        return merged
+
+    @staticmethod
+    def _publish_metrics(result: SearchResult) -> None:
+        """One batched registry update per search run (no per-proposal cost)."""
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "search_runs_total", "Plan searches by chain execution mode",
+                labels=("mode",),
+            ).labels(mode=result.execution_mode).inc()
+            registry.counter(
+                "search_iterations_total", "MCMC proposals evaluated across runs"
+            ).inc(result.n_iterations)
+            registry.gauge(
+                "search_acceptance_rate", "Accepted-proposal fraction of the last run"
+            ).set(result.acceptance_rate)
+            registry.gauge(
+                "search_proposals_per_sec", "Proposal throughput of the last run"
+            ).set(result.n_iterations / max(result.elapsed_seconds, 1e-9))
+            wall_hist = registry.histogram(
+                "search_chain_wall_seconds", "Per-chain wall-clock seconds"
+            )
+            for seconds in result.chain_wall_seconds:
+                wall_hist.observe(seconds)
+            cpu_hist = registry.histogram(
+                "search_chain_cpu_seconds", "Per-chain CPU seconds"
+            )
+            for seconds in result.chain_cpu_seconds:
+                cpu_hist.observe(seconds)
+        log = get_logger("search")
+        if log.isEnabledFor(10):  # logging.DEBUG
+            log.debug(
+                "%s search: %d iters over %d chains in %.3fs "
+                "(accept %.2f, cost %.4f -> %.4f)",
+                result.execution_mode,
+                result.n_iterations,
+                result.n_chains,
+                result.elapsed_seconds,
+                result.acceptance_rate,
+                result.initial_cost,
+                result.best_cost,
+            )
 
     def _merge_results(
         self,

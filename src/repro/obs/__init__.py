@@ -1,0 +1,55 @@
+"""Unified telemetry: metrics registry, structured logging, exporters.
+
+The observability layer every subsystem reports through:
+
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry` with
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments (labeled
+  series, streaming p50/p90/p99, ``REPRO_METRICS=off`` no-op mode) and the
+  :func:`timed`/:func:`span` timing helpers;
+* :mod:`repro.obs.log` — the ``repro.*`` structured logger hierarchy
+  (``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT=text|json``);
+* :mod:`repro.obs.export` — JSON snapshots (``METRICS_*.json``), Prometheus
+  text exposition and Chrome-trace counter tracks.
+"""
+
+from .export import (
+    record_counter_tracks,
+    snapshot,
+    to_prometheus,
+    write_metrics_snapshot,
+)
+from .log import JsonFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    span,
+    timed,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "metrics_enabled",
+    "timed",
+    "span",
+    "get_logger",
+    "configure_logging",
+    "JsonFormatter",
+    "to_prometheus",
+    "snapshot",
+    "write_metrics_snapshot",
+    "record_counter_tracks",
+]

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig
 from ..core.search import SearchConfig
-from ..service.server import PlanRequest, PlanService, RequestStats
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..service.server import PlanRequest, PlanService, RequestStats, ServiceStats
 from .job import Job
 from .metrics import SearchTimeStats
 from .partition import Partition
@@ -65,6 +66,7 @@ class PlanCosting:
         search: SearchConfig,
         replan_search: SearchConfig,
         prune: PruneConfig = PruneConfig(),
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.service = service
         self.search = search
@@ -75,6 +77,20 @@ class PlanCosting:
         self._replan: List[RequestStats] = []
         self._wave_seconds: List[float] = []
         self._wave_sizes: List[int] = []
+        # The service may be shared across several schedulers/benchmark runs;
+        # this baseline turns its cumulative counters into per-run deltas.
+        # (A service-less costing is only used in unit tests of the ledger.)
+        self._stats_baseline = (
+            service.stats.snapshot() if service is not None else ServiceStats()
+        )
+        self.registry = registry if registry is not None else get_registry()
+        self._m_decision = self.registry.histogram(
+            "sched_decision_seconds",
+            "Plan-costing latency of one scheduling decision (one wave)",
+        )
+        self._m_candidates = self.registry.counter(
+            "sched_candidates_total", "(job, partition) candidates scored"
+        )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -143,8 +159,11 @@ class PlanCosting:
                     stats=response.stats,
                 )
             )
-        self._wave_seconds.append(time.perf_counter() - wave_started)
+        wave_seconds = time.perf_counter() - wave_started
+        self._wave_seconds.append(wave_seconds)
         self._wave_sizes.append(len(pairs))
+        self._m_decision.observe(wave_seconds)
+        self._m_candidates.inc(len(pairs))
         return out
 
     def score_one(self, job: Job, partitions: Sequence[Partition]) -> List[Candidate]:
@@ -180,6 +199,17 @@ class PlanCosting:
             count=len(self._replan),
             total_seconds=sum(s.search_seconds for s in self._replan),
         )
+
+    def service_stats_delta(self) -> ServiceStats:
+        """This costing's share of the (possibly shared) service counters.
+
+        The difference between the service's live counters and their snapshot
+        at construction time — so schedulers and benchmarks sharing one
+        :class:`PlanService` still report per-run request statistics.
+        """
+        if self.service is None:
+            return ServiceStats()
+        return self.service.stats.snapshot() - self._stats_baseline
 
     @property
     def wave_stats(self) -> Dict[str, float]:

@@ -117,6 +117,8 @@ class ScheduleReport:
     """Parameter-migration time charged across all placements and resizes."""
     trace_path: Optional[str] = None
     """Where the merged Chrome trace of this run was written (if exported)."""
+    metrics_path: Optional[str] = None
+    """Where the ``METRICS_*.json`` registry snapshot was written (if any)."""
 
     # ------------------------------------------------------------------ #
     # Derived cluster-level metrics
@@ -218,5 +220,6 @@ class ScheduleReport:
             "engine_profile_runs": self.engine_profile_runs,
             "total_switch_seconds": self.total_switch_seconds,
             "trace_path": self.trace_path,
+            "metrics_path": self.metrics_path,
             "jobs": [job.to_dict() for job in self.jobs],
         }

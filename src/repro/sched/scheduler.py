@@ -45,11 +45,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.hardware import ClusterSpec
 from ..core.pruning import PruneConfig
 from ..core.search import SearchConfig
+from ..obs.export import record_counter_tracks, write_metrics_snapshot
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..service.server import PlanService
 from ..sim.kernel import Event, SimKernel
 from ..sim.trace import TraceRecorder
@@ -141,6 +145,8 @@ class ClusterScheduler:
         service: Optional[PlanService] = None,
         failures: Sequence[NodeFailure] = (),
         trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         names = [spec.name for spec in jobs]
         if len(set(names)) != len(names):
@@ -160,6 +166,8 @@ class ClusterScheduler:
         )
         self.failures = list(failures)
         self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.registry = registry if registry is not None else get_registry()
         self.jobs = [Job.from_spec(spec) for spec in jobs]
         self.manager = PartitionManager(cluster)
         self.costing = PlanCosting(
@@ -167,6 +175,7 @@ class ClusterScheduler:
             search=self.config.search,
             replan_search=self.config.resolved_replan_search(),
             prune=self.config.prune,
+            registry=self.registry,
         )
         self.profiler = IterationProfiler()
         self.migration = MigrationCostModel(cluster)
@@ -179,7 +188,27 @@ class ClusterScheduler:
         self._n_recoveries = 0
         self._busy_until = 0.0
         self._capacity_dirty = False
-        self._stats_baseline = self.service.stats.snapshot()
+        self._obs_log = get_logger("sched")
+        self._m_timeline = self.registry.counter(
+            "sched_timeline_events_total",
+            "Scheduler timeline entries by event kind",
+            labels=("event",),
+        )
+        self._m_running = self.registry.gauge(
+            "sched_running_jobs", "Jobs currently running (last kernel timestamp)"
+        )
+        self._m_queued = self.registry.gauge(
+            "sched_queued_jobs", "Jobs currently queued (last kernel timestamp)"
+        )
+        self._m_free_gpus = self.registry.gauge(
+            "sched_free_gpus", "Unallocated healthy GPUs (last kernel timestamp)"
+        )
+        self._m_utilization = self.registry.gauge(
+            "sched_gpu_utilization", "Allocated fraction of healthy GPUs"
+        )
+        # Live counter tracks for the merged Chrome trace, sampled in virtual
+        # time at every drained kernel timestamp.
+        self._counter_samples: List[Tuple[float, Dict[str, float]]] = []
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -195,6 +224,14 @@ class ClusterScheduler:
                 "job": job.name if job is not None else None,
                 "detail": detail,
             }
+        )
+        self._m_timeline.labels(event=event).inc()
+        self._obs_log.debug(
+            "t=%.4f %s%s: %s",
+            time,
+            event,
+            f" {job.name}" if job is not None else "",
+            detail,
         )
 
     def _running(self) -> List[Job]:
@@ -237,12 +274,77 @@ class ClusterScheduler:
         report = self._report()
         if self.trace_path is not None:
             report.trace_path = str(self.export_chrome_trace(self.trace_path))
+        metrics_path = self._resolved_metrics_path()
+        if metrics_path is not None and self.registry.enabled:
+            report.metrics_path = str(
+                write_metrics_snapshot(
+                    self.registry,
+                    metrics_path,
+                    extra={
+                        "source": "ClusterScheduler",
+                        "policy": self.policy.name,
+                        "cluster_gpus": self.cluster.n_gpus,
+                        "n_jobs": len(self.jobs),
+                        "makespan": report.makespan,
+                    },
+                )
+            )
         return report
+
+    def _resolved_metrics_path(self) -> Optional[str]:
+        """Where to write the ``METRICS_*.json`` snapshot (``None``: nowhere).
+
+        Explicit ``metrics_path`` wins; otherwise a trace-exporting run puts
+        ``METRICS_<trace stem>.json`` next to its Chrome trace, so the two
+        artifacts of one run travel together.
+        """
+        if self.metrics_path is not None:
+            return self.metrics_path
+        if self.trace_path is not None:
+            trace = Path(self.trace_path)
+            return str(trace.with_name(f"METRICS_{trace.stem}.json"))
+        return None
 
     def _after_timestamp(self, time: float) -> None:
         if self._capacity_dirty:
             self._capacity_dirty = False
             self._dispatch(time)
+            # Utilization only changes when dispatch ran (placements,
+            # displacements, capacity changes), so sampling here captures
+            # every step of the counter tracks without per-event cost.
+            self._sample_counters(time)
+
+    def _sample_counters(self, time: float) -> None:
+        """One virtual-time sample of the live cluster state.
+
+        Feeds both the registry gauges (latest value) and the Chrome-trace
+        counter tracks (full time series) from a single measurement.
+        """
+        n_running = len(self._running())
+        n_queued = len(self._queue)
+        n_free = self.manager.n_free
+        n_available = self.manager.n_available
+        busy = n_available - n_free
+        utilization = busy / n_available if n_available else 0.0
+        self._m_running.set(n_running)
+        self._m_queued.set(n_queued)
+        self._m_free_gpus.set(n_free)
+        self._m_utilization.set(utilization)
+        service_delta = self.costing.service_stats_delta()
+        self._counter_samples.append(
+            (
+                time,
+                {
+                    "running jobs": float(n_running),
+                    "queued jobs": float(n_queued),
+                    "free GPUs": float(n_free),
+                    "busy GPUs": float(busy),
+                    "GPU utilization": utilization,
+                    "plan cache hit ratio": service_delta.hit_rate,
+                    "plan search seconds": service_delta.search_seconds,
+                },
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Event handlers
@@ -541,18 +643,11 @@ class ClusterScheduler:
     def _service_stats_delta(self) -> Dict[str, float]:
         """This run's share of the (possibly shared) service's counters.
 
-        A shared service accumulates across runs; reporting the raw snapshot
-        would attribute earlier runs' traffic to this schedule, so the
-        baseline captured at construction is subtracted and the hit rate
-        recomputed from the delta.
+        A shared service accumulates across runs; the costing's baseline
+        snapshot (taken at construction) turns the cumulative counters into
+        this run's delta, with the hit rate recomputed from the delta.
         """
-        end = self.service.stats.snapshot().to_dict()
-        base = self._stats_baseline.to_dict()
-        delta = {key: end[key] - base[key] for key in end if key != "hit_rate"}
-        delta["hit_rate"] = (
-            delta["cache_hits"] / delta["requests"] if delta["requests"] else 0.0
-        )
-        return delta
+        return self.costing.service_stats_delta().to_dict()
 
     # ------------------------------------------------------------------ #
     # Unified trace export
@@ -561,10 +656,13 @@ class ClusterScheduler:
         """Emit the run into a recorder: cluster events + per-job phases.
 
         One merged trace: a ``cluster`` process carries the decision-level
-        timeline as instant events; each job gets a process with its running
-        segments, parameter-switch windows, iteration spans and — inside
-        every completed iteration — the engine-profiled call phases.
+        timeline as instant events plus live counter tracks (running/queued
+        jobs, free/busy GPUs, utilization, plan-cache hit ratio, search
+        seconds); each job gets a process with its running segments,
+        parameter-switch windows, iteration spans and — inside every
+        completed iteration — the engine-profiled call phases.
         """
+        record_counter_tracks(recorder, "cluster", self._counter_samples)
         for entry in self._timeline:
             label = entry["event"] if entry["job"] is None else f"{entry['event']}: {entry['job']}"
             recorder.add_instant(
@@ -624,6 +722,7 @@ def schedule_trace(
     service: Optional[PlanService] = None,
     failures: Sequence[NodeFailure] = (),
     trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> ScheduleReport:
     """Convenience wrapper: build a :class:`ClusterScheduler` and run it once."""
     scheduler = ClusterScheduler(
@@ -634,5 +733,6 @@ def schedule_trace(
         service=service,
         failures=failures,
         trace_path=trace_path,
+        metrics_path=metrics_path,
     )
     return scheduler.run()

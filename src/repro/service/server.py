@@ -38,6 +38,8 @@ from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig, allocation_options
 from ..core.search import MCMCSearcher, SearchConfig, SearchResult
 from ..core.workload import RLHFWorkload
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
 from .cache import PlanCache, PlanCacheEntry
 from .fingerprint import WorkloadFingerprint, fingerprint_request
 from .warm_start import adapt_plan, select_warm_start
@@ -124,6 +126,26 @@ class ServiceStats:
         """Copy of the counters (the live object keeps mutating)."""
         return dataclasses.replace(self)
 
+    def delta(self, baseline: "ServiceStats") -> "ServiceStats":
+        """Field-wise difference: this run's share of shared-service counters.
+
+        ``live.snapshot().delta(baseline)`` (or ``snapshot - baseline``)
+        returns a new :class:`ServiceStats` whose derived ``hit_rate`` is
+        recomputed from the delta counters — the per-run view schedulers and
+        benchmarks report when several runs share one service.
+        """
+        return ServiceStats(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(baseline, spec.name)
+                for spec in dataclasses.fields(self)
+            }
+        )
+
+    def __sub__(self, baseline: "ServiceStats") -> "ServiceStats":
+        if not isinstance(baseline, ServiceStats):
+            return NotImplemented
+        return self.delta(baseline)
+
     def to_dict(self) -> Dict[str, float]:
         """Machine-readable form of the counters (benchmarks, schedulers)."""
         data: Dict[str, float] = dataclasses.asdict(self)
@@ -159,6 +181,12 @@ class PlanService:
         spans both layers, so multi-chain searches degrade to in-process
         execution instead of oversubscribing the machine when many requests
         are in flight.  Defaults to the process-global governor.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this service reports
+        into: request latency histogram labeled by outcome
+        (``hit``/``cold``/``warm``/``dedup``), cache hit/miss counters, an
+        in-flight-search gauge and lazily collected eval-cache gauges.
+        Defaults to the process-global registry.
 
     The service is a context manager; :meth:`shutdown` drains the pool.
     """
@@ -172,6 +200,7 @@ class PlanService:
         warm_start: bool = True,
         estimator_cache_size: int = 8,
         core_budget: Optional[CoreBudget] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -193,6 +222,25 @@ class PlanService:
         self._estimator_cache_size = estimator_cache_size
         self._lock = threading.RLock()
         self._closed = False
+        self._log = get_logger("service")
+        self.registry = registry if registry is not None else get_registry()
+        self._m_requests = self.registry.counter(
+            "service_requests_total",
+            "Plan requests by outcome (hit/cold/warm/dedup)",
+            labels=("outcome",),
+        )
+        self._m_latency = self.registry.histogram(
+            "service_request_seconds",
+            "Request latency (submit to response) by outcome",
+            labels=("outcome",),
+        )
+        self._m_inflight = self.registry.gauge(
+            "service_inflight_searches", "Plan searches currently executing"
+        )
+        self._m_search_seconds = self.registry.counter(
+            "service_search_seconds_total", "Wall-clock seconds spent in plan search"
+        )
+        self._collector = self.registry.register_collector(self._collect_gauges)
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -215,6 +263,7 @@ class PlanService:
                 primary = self._inflight.get(fingerprint.key)
                 if primary is not None:
                     self.stats.dedup_joins += 1
+                    self._m_requests.labels(outcome="dedup").inc()
                     return self._join_inflight(primary)
                 self.stats.cache_misses += 1
                 future = self._pool.submit(
@@ -229,6 +278,8 @@ class PlanService:
         # Deserializing the cached plan can be comparatively expensive, so
         # hits are materialised outside the lock to keep submission concurrent.
         response = self._response_from_entry(entry, request, fingerprint, submitted_at)
+        self._m_requests.labels(outcome="hit").inc()
+        self._m_latency.labels(outcome="hit").observe(response.stats.total_seconds)
         done: "Future[PlanResponse]" = Future()
         done.set_result(response)
         return done
@@ -278,14 +329,16 @@ class PlanService:
                 self._estimators.popitem(last=False)
         return estimator
 
-    @staticmethod
     def _join_inflight(
+        self,
         primary: "Future[PlanResponse]",
     ) -> "Future[PlanResponse]":
         """Chain a secondary future onto an in-flight search.
 
         The joined caller receives the same plan but its response stats are
-        marked as a dedup join (it consumed no search budget of its own).
+        marked as a dedup join (it consumed no search budget of its own; the
+        observed latency is the primary search's, which is what the joined
+        caller actually waited for).
         """
         secondary: "Future[PlanResponse]" = Future()
 
@@ -295,6 +348,9 @@ class PlanService:
                 secondary.set_exception(exc)
                 return
             response = done.result()
+            self._m_latency.labels(outcome="dedup").observe(
+                response.stats.total_seconds
+            )
             secondary.set_result(
                 dataclasses.replace(
                     response,
@@ -339,7 +395,47 @@ class PlanService:
             return True
         return peak_memory_bytes < cluster.device_memory_bytes
 
+    def _collect_gauges(self) -> None:
+        """Publish lazily collected gauges (run by registry snapshots/exports).
+
+        The estimator's eval cache counts hits/misses on the search hot path
+        with plain attribute increments; this collector sums those private
+        counters across the service's cached estimators and publishes them as
+        gauges — observability without touching the hot loop.
+        """
+        with self._lock:
+            estimators = list(self._estimators.values())
+            hit_rate = self.stats.hit_rate
+        hits = sum(e.eval_cache_stats.hits for e in estimators)
+        misses = sum(e.eval_cache_stats.misses for e in estimators)
+        evictions = sum(e.eval_cache_stats.evictions for e in estimators)
+        lookups = hits + misses
+        self.registry.gauge(
+            "service_cache_hit_ratio", "Plan-cache hit fraction of all requests"
+        ).set(hit_rate)
+        self.registry.gauge(
+            "service_eval_cache_lookups", "Estimator eval-cache lookups (cached estimators)"
+        ).set(lookups)
+        self.registry.gauge(
+            "service_eval_cache_hit_ratio", "Estimator eval-cache hit fraction"
+        ).set(hits / lookups if lookups else 0.0)
+        self.registry.gauge(
+            "service_eval_cache_evictions", "Estimator eval-cache LRU evictions"
+        ).set(evictions)
+
     def _execute(
+        self,
+        request: PlanRequest,
+        fingerprint: WorkloadFingerprint,
+        submitted_at: float,
+    ) -> PlanResponse:
+        self._m_inflight.inc()
+        try:
+            return self._execute_inner(request, fingerprint, submitted_at)
+        finally:
+            self._m_inflight.dec()
+
+    def _execute_inner(
         self,
         request: PlanRequest,
         fingerprint: WorkloadFingerprint,
@@ -385,13 +481,30 @@ class PlanService:
             if result.execution_mode == "process":
                 self.stats.parallel_searches += 1
             self.stats.search_seconds += result.elapsed_seconds
+        total_seconds = finished_at - submitted_at
+        outcome = "warm" if warm_started else "cold"
+        self._m_requests.labels(outcome=outcome).inc()
+        self._m_latency.labels(outcome=outcome).observe(total_seconds)
+        self._m_search_seconds.inc(result.elapsed_seconds)
+        self._log.debug(
+            "served %s search in %.3fs (queue %.3fs, cost %.4f)",
+            outcome,
+            total_seconds,
+            queue_seconds,
+            result.best_cost,
+            extra={
+                "fingerprint": fingerprint.key,
+                "outcome": outcome,
+                "search_seconds": result.elapsed_seconds,
+            },
+        )
         stats = RequestStats(
             fingerprint=fingerprint.key,
             cache_hit=False,
             warm_started=warm_started,
             queue_seconds=queue_seconds,
             search_seconds=result.elapsed_seconds,
-            total_seconds=finished_at - submitted_at,
+            total_seconds=total_seconds,
         )
         return PlanResponse(
             plan=result.best_plan,
@@ -420,6 +533,11 @@ class PlanService:
         """
         self.shutdown(wait=wait)
         self.cache.flush()
+        # Publish the final gauge values before unhooking the collector, so
+        # snapshots taken after close still carry this service's last state.
+        if self.registry.enabled:
+            self._collect_gauges()
+        self.registry.unregister_collector(self._collector)
 
     def __enter__(self) -> "PlanService":
         return self

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from typing import Callable, List, Optional
+
+from ..obs.metrics import get_registry
 
 __all__ = ["Event", "SimKernel"]
 
@@ -138,15 +141,43 @@ class SimKernel:
         ``on_timestamp_drained(t)`` runs, then the loop moves to the next
         timestamp.  The loop ends when no events remain — handlers and the
         drain hook may keep scheduling new ones.
+
+        Event-drain throughput is published to the metrics registry once per
+        ``run()`` (``sim_events_total``, ``sim_events_per_sec``,
+        ``sim_run_seconds``) — a single batched update, so the per-event hot
+        loop carries no instrumentation cost.
         """
-        while True:
-            next_time = self.peek_time()
-            if next_time is None:
-                return
+        wall_started = _time.perf_counter()
+        processed_before = self.n_processed
+        try:
             while True:
-                peek = self.peek_time()
-                if peek is None or peek != next_time:
-                    break
-                handler(self.pop())
-            if on_timestamp_drained is not None:
-                on_timestamp_drained(next_time)
+                next_time = self.peek_time()
+                if next_time is None:
+                    return
+                while True:
+                    peek = self.peek_time()
+                    if peek is None or peek != next_time:
+                        break
+                    handler(self.pop())
+                if on_timestamp_drained is not None:
+                    on_timestamp_drained(next_time)
+        finally:
+            self._publish_run_metrics(
+                self.n_processed - processed_before,
+                _time.perf_counter() - wall_started,
+            )
+
+    @staticmethod
+    def _publish_run_metrics(n_events: int, elapsed_s: float) -> None:
+        registry = get_registry()
+        if not registry.enabled or n_events <= 0:
+            return
+        registry.counter(
+            "sim_events_total", "Discrete events processed across all kernel runs"
+        ).inc(n_events)
+        registry.gauge(
+            "sim_events_per_sec", "Event-drain throughput of the last kernel run"
+        ).set(n_events / max(elapsed_s, 1e-9))
+        registry.histogram(
+            "sim_run_seconds", "Wall-clock seconds of whole kernel runs"
+        ).observe(elapsed_s)

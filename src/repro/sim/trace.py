@@ -11,11 +11,14 @@ https://ui.perfetto.dev.
 The exporter emits the `Trace Event Format
 <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
 complete events (``ph: "X"``) for spans, instant events (``ph: "i"``) for
-markers and metadata events (``ph: "M"``) naming processes and threads.
+markers, counter events (``ph: "C"``) for live metric tracks (queue depth,
+free GPUs, cache hit ratio — rendered as stacked area tracks by Perfetto)
+and metadata events (``ph: "M"``) naming processes and threads.
 Timestamps are microseconds; process/thread labels are interned to stable
 integer ids.  :func:`validate_chrome_events` checks the required keys
-(``ph``, ``ts``, ``pid``, ``tid``, ``name``) so exports are guaranteed to
-load cleanly.
+(``ph``, ``ts``, ``pid``, ``tid``, ``name``) plus the per-phase extras
+(numeric ``dur`` on spans, numeric ``args`` on counters) so exports are
+guaranteed to load cleanly.
 """
 
 from __future__ import annotations
@@ -177,6 +180,32 @@ class TraceRecorder:
             event["args"] = dict(args)
         self._events.append(event)
 
+    def add_counter(
+        self,
+        process: str,
+        name: str,
+        time_s: float,
+        values: Mapping[str, float],
+        category: str = "",
+    ) -> None:
+        """Record one counter (``ph: "C"``) sample at ``time_s``.
+
+        Every distinct ``name`` (per process) renders as its own counter
+        track; the ``values`` mapping's series stack within the track.
+        Counter events live on ``tid`` 0 — tracks are named, not threaded.
+        """
+        event: Dict[str, Any] = {
+            "ph": "C",
+            "ts": time_s * _US_PER_S,
+            "pid": self._pid(process),
+            "tid": 0,
+            "name": name,
+            "args": {key: float(value) for key, value in values.items()},
+        }
+        if category:
+            event["cat"] = category
+        self._events.append(event)
+
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
@@ -209,7 +238,8 @@ def validate_chrome_events(events: Sequence[Mapping[str, Any]]) -> None:
     """Check every event carries the Trace Event Format required keys.
 
     Raises ``ValueError`` on the first violation: a missing required key, a
-    non-numeric timestamp, or a complete event without a duration.
+    non-numeric timestamp, a complete event without a duration, or a counter
+    event without a mapping of numeric series values.
     """
     for index, event in enumerate(events):
         for key in _REQUIRED_KEYS:
@@ -219,6 +249,18 @@ def validate_chrome_events(events: Sequence[Mapping[str, Any]]) -> None:
             raise ValueError(f"trace event {index} has non-numeric ts: {event['ts']!r}")
         if event["ph"] == "X" and not isinstance(event.get("dur"), (int, float)):
             raise ValueError(f"complete trace event {index} misses numeric 'dur': {event}")
+        if event["ph"] == "C":
+            args = event.get("args")
+            if not isinstance(args, Mapping) or not args:
+                raise ValueError(
+                    f"counter trace event {index} misses its 'args' series: {event}"
+                )
+            for series, value in args.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"counter trace event {index} series {series!r} has "
+                        f"non-numeric value {value!r}"
+                    )
 
 
 def load_chrome_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:

@@ -36,6 +36,7 @@ def test_examples_directory_complete():
     assert names == [
         "compare_rlhf_systems",
         "long_context_planning",
+        "metrics_export",
         "multi_job_scheduling",
         "quickstart",
         "tiny_rlhf_training",
@@ -114,6 +115,25 @@ def test_trace_export_tiny_run(monkeypatch, capsys, tmp_path):
     assert load_chrome_trace(tmp_path / "schedule_trace.json")
 
 
+def test_metrics_export_tiny_run(monkeypatch, capsys, tmp_path):
+    _run_main(
+        monkeypatch,
+        "metrics_export",
+        ["--gpus", "16", "--search-iterations", "25", "--out-dir", str(tmp_path)],
+    )
+    out = capsys.readouterr().out
+    assert "metrics snapshot" in out
+    assert "Prometheus exposition" in out
+    assert "counter tracks" in out
+    # The three exports really landed: snapshot, exposition, trace.
+    assert (tmp_path / "METRICS_schedule_trace.json").exists()
+    assert "# TYPE" in (tmp_path / "metrics.prom").read_text()
+    from repro.sim import load_chrome_trace
+
+    events = load_chrome_trace(tmp_path / "schedule_trace.json")
+    assert any(event["ph"] == "C" for event in events)
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -121,6 +141,7 @@ def test_trace_export_tiny_run(monkeypatch, capsys, tmp_path):
         "compare_rlhf_systems",
         "long_context_planning",
         "tiny_rlhf_training",
+        "metrics_export",
         "multi_job_scheduling",
         "trace_export",
     ],
