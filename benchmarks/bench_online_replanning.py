@@ -1,0 +1,258 @@
+"""Online re-planning vs plan-once-at-admission on a dynamic multi-job trace.
+
+The acceptance experiment of the online re-planning subsystem: the same
+staggered PPO/GRPO trace is scheduled twice under the ``best_throughput``
+policy — once the paper's way (one plan search at admission, ride it to
+completion) and once with background :class:`~repro.core.search.SearchSession`
+sessions polling between iteration boundaries and hot-swapping the plan when
+the remaining-work gain clears the swap margin *after* charging the real
+parameter-switch cost from
+:class:`~repro.sched.profiles.MigrationCostModel`.  Admission budgets are
+deliberately tiny (that is the realistic operating point: admission must be
+fast) while the background budget is generous (it runs during otherwise
+plan-idle execution), so online re-planning should recover the throughput the
+rushed admission search left on the table — the benchmark asserts it beats
+plan-once on aggregate iterations/sec with at least one swap taken.
+
+Each arm runs on its own fresh :class:`PlanService`, so cache write-backs
+from the online arm cannot leak into the baseline.  The online arm exports
+its merged Chrome trace to ``TRACE_online_replanning.json`` (swap events
+appear as instants on the cluster events track).  Results are written to
+``BENCH_online_replanning.json`` at the repo root
+(``BENCH_online_replanning.smoke.json`` for ``--smoke`` runs) and compared
+against the committed baseline by ``benchmarks/check_bench_regression.py``.
+
+Run standalone (``python benchmarks/bench_online_replanning.py``; add
+``--smoke`` for a seconds-long CI-friendly run) or via pytest
+(``pytest benchmarks/bench_online_replanning.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core import SearchConfig
+from repro.cluster import make_cluster
+from repro.experiments import format_table
+from repro.sched import ClusterScheduler, JobSpec, SchedulerConfig
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_online_replanning.json"
+SMOKE_OUTPUT = _REPO_ROOT / "BENCH_online_replanning.smoke.json"
+ONLINE_TRACE = _REPO_ROOT / "TRACE_online_replanning.json"
+
+
+def _trace(smoke: bool):
+    """Staggered arrivals of mixed PPO/GRPO jobs on two 8-GPU nodes."""
+    n_jobs = 2 if smoke else 4
+    return [
+        JobSpec(
+            name=f"job-{i}",
+            algorithm="grpo" if i % 2 else "ppo",
+            batch_size=128,
+            arrival_time=40.0 * i,
+            target_iterations=25 if smoke else 40,
+            min_gpus=8,
+            max_gpus=8,
+        )
+        for i in range(n_jobs)
+    ]
+
+
+def _config(online: bool, smoke: bool) -> SchedulerConfig:
+    # The admission budget is rushed on purpose — both arms share it, so the
+    # baseline arm is stuck with whatever it finds, while the online arm
+    # keeps searching in the background.  Elasticity is off in both arms so
+    # the comparison isolates plan quality from partition growth.
+    return SchedulerConfig(
+        search=SearchConfig(
+            max_iterations=20, time_budget_s=1.0, seed=0, record_history=False
+        ),
+        elastic=False,
+        online_replanning=online,
+        online_search=SearchConfig(
+            max_iterations=400 if smoke else 1200,
+            time_budget_s=30.0,
+            seed=0,
+            record_history=False,
+        ),
+        poll_interval_s=15.0,
+        poll_iterations=100,
+        swap_margin=1.01,
+    )
+
+
+def _run_arm(online: bool, smoke: bool, trace_path: Optional[str]) -> Dict[str, float]:
+    started = time.perf_counter()
+    scheduler = ClusterScheduler(
+        cluster=make_cluster(16),
+        jobs=_trace(smoke),
+        policy="best_throughput",
+        config=_config(online, smoke),
+        trace_path=trace_path,
+    )
+    report = scheduler.run()
+    wall_s = time.perf_counter() - started
+    assert report.all_completed, "benchmark arm left jobs incomplete"
+    return {
+        "agg_iters_per_sec": report.aggregate_iterations_per_second,
+        "makespan_s": report.makespan,
+        "n_swaps": float(report.n_swaps),
+        "n_swaps_rejected": float(report.n_swaps_rejected),
+        "n_search_polls": float(report.n_search_polls),
+        "online_sessions": float(report.online_sessions),
+        "swap_seconds_saved": report.swap_seconds_saved,
+        "total_switch_seconds": report.total_switch_seconds,
+        "wall_s": wall_s,
+    }
+
+
+def _metric(value: float, higher_is_better: bool) -> Dict[str, object]:
+    return {"value": value, "higher_is_better": higher_is_better}
+
+
+def run_benchmark(smoke: bool = False) -> Dict[str, object]:
+    baseline = _run_arm(online=False, smoke=smoke, trace_path=None)
+    online = _run_arm(online=True, smoke=smoke, trace_path=str(ONLINE_TRACE))
+    speedup = online["agg_iters_per_sec"] / baseline["agg_iters_per_sec"]
+    return {
+        "benchmark": "online_replanning",
+        "mode": "smoke" if smoke else "full",
+        "setup": (
+            "staggered PPO/GRPO trace on 16 GPUs, best_throughput policy, "
+            "rushed admission search; online arm polls background sessions "
+            "and hot-swaps at iteration boundaries"
+        ),
+        "machine": {
+            "cores": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "details": {
+            **{f"baseline_{k}": v for k, v in baseline.items()},
+            **{f"online_{k}": v for k, v in online.items()},
+        },
+        "metrics": {
+            "baseline_agg_iters_per_sec": _metric(baseline["agg_iters_per_sec"], True),
+            "online_agg_iters_per_sec": _metric(online["agg_iters_per_sec"], True),
+            "online_speedup": _metric(speedup, True),
+            "swaps_taken": _metric(online["n_swaps"], True),
+        },
+    }
+
+
+def _check(report: Dict[str, object]) -> None:
+    metrics = report["metrics"]
+    details = report["details"]
+    # The acceptance criterion: online re-planning beats plan-once on
+    # aggregate iters/s with swap costs charged, via at least one real swap.
+    assert metrics["online_speedup"]["value"] > 1.0, (
+        f"online re-planning did not beat plan-once: "
+        f"speedup {metrics['online_speedup']['value']:.4f}"
+    )
+    assert metrics["swaps_taken"]["value"] >= 1
+    assert details["online_n_search_polls"] >= 1
+    assert details["online_swap_seconds_saved"] > 0
+    assert details["baseline_n_swaps"] == 0
+    # The exported merged trace carries the swap instants.
+    events = json.loads(ONLINE_TRACE.read_text())["traceEvents"]
+    swap_instants = [
+        e for e in events if e.get("ph") == "i" and e.get("cat") == "swap"
+    ]
+    assert len(swap_instants) == int(details["online_n_swaps"])
+
+
+def _print(report: Dict[str, object]) -> None:
+    details = report["details"]
+    rows = [
+        {"arm": "plan-once",
+         "agg iters/s": round(details["baseline_agg_iters_per_sec"], 4),
+         "makespan (s)": round(details["baseline_makespan_s"], 1),
+         "swaps": int(details["baseline_n_swaps"]),
+         "polls": int(details["baseline_n_search_polls"])},
+        {"arm": "online re-planning",
+         "agg iters/s": round(details["online_agg_iters_per_sec"], 4),
+         "makespan (s)": round(details["online_makespan_s"], 1),
+         "swaps": int(details["online_n_swaps"]),
+         "polls": int(details["online_n_search_polls"])},
+    ]
+    print()
+    print(format_table(rows, title=f"Online re-planning ({report['mode']})"))
+    speedup = report["metrics"]["online_speedup"]["value"]
+    print(
+        f"speedup {speedup:.3f}x, ~{details['online_swap_seconds_saved']:.0f} s saved "
+        f"by {int(details['online_n_swaps'])} swaps "
+        f"({int(details['online_n_swaps_rejected'])} rejected), "
+        f"trace: {ONLINE_TRACE.name}"
+    )
+
+
+def write_report(report: Dict[str, object], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def test_online_replanning(benchmark):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_benchmark, smoke=True)
+    _check(report)
+    _print(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long CI run: fewer jobs, iterations and search budget",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            "where to write the JSON report (default: "
+            f"{DEFAULT_OUTPUT} for full runs, {SMOKE_OUTPUT} for --smoke runs "
+            "— smoke numbers never overwrite the committed full baseline)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT
+    report = run_benchmark(smoke=args.smoke)
+    _print(report)
+    _check(report)
+    write_report(report, output)
+    _write_metrics_snapshot(output, report)
+    speedup = report["metrics"]["online_speedup"]["value"]
+    print(f"\nOK: online re-planning beat plan-once by {speedup:.3f}x")
+    return 0
+
+
+def _write_metrics_snapshot(bench_output: Path, report: Dict[str, object]) -> None:
+    """Dump the live telemetry registry next to the benchmark report
+    (``METRICS_online_replanning[.smoke].json``, uploaded as a CI artifact)."""
+    from repro.obs import get_registry, write_metrics_snapshot
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    path = bench_output.with_name(
+        bench_output.name.replace("BENCH_", "METRICS_", 1)
+    )
+    write_metrics_snapshot(
+        registry, path, extra={"benchmark": report["benchmark"], "mode": report["mode"]}
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from .parallel_search import (
     GLOBAL_CORE_BUDGET,
     ChainResult,
     ChainSpec,
+    ChainState,
     CoreBudget,
     ParallelSearchRunner,
 )
@@ -49,7 +50,14 @@ from .profiler import (
     ProfileStats,
 )
 from .pruning import PruneConfig, allocation_options, enumerate_allocations, search_space_size
-from .search import MCMCSearcher, SearchConfig, SearchResult, search_execution_plan
+from .search import (
+    MCMCSearcher,
+    SearchConfig,
+    SearchResult,
+    SearchSession,
+    SessionProgress,
+    search_execution_plan,
+)
 from .workload import CallWorkload, RLHFWorkload, instructgpt_workload
 
 __all__ = [
@@ -96,6 +104,8 @@ __all__ = [
     "SearchConfig",
     "SearchResult",
     "MCMCSearcher",
+    "SearchSession",
+    "SessionProgress",
     "search_execution_plan",
     "BruteForceResult",
     "brute_force_search",
@@ -104,6 +114,7 @@ __all__ = [
     "GLOBAL_CORE_BUDGET",
     "ChainSpec",
     "ChainResult",
+    "ChainState",
     "ParallelSearchRunner",
     # api
     "GENERATE",

@@ -58,6 +58,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
+import numpy as np
+
 from ..cluster.hardware import ClusterSpec
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
@@ -73,6 +75,7 @@ __all__ = [
     "GLOBAL_CORE_BUDGET",
     "ChainSpec",
     "ChainResult",
+    "ChainState",
     "ChainProblem",
     "ParallelSearchRunner",
     "min_parallel_budget_s",
@@ -216,6 +219,54 @@ class ChainResult:
 
 
 @dataclass
+class ChainState:
+    """Resumable mid-flight snapshot of one Metropolis-Hastings chain (picklable).
+
+    The searcher's :meth:`~repro.core.search.MCMCSearcher.advance_chain`
+    consumes a slice of the chain's budgets and writes the outcome back here,
+    so a chain can run in slices — on the calling thread or round-tripping
+    through worker processes — and still produce exactly the chain one
+    uninterrupted ``run_chain`` would have produced: the RNG travels *in* the
+    state, iteration numbering picks up where the previous slice stopped, and
+    wall/CPU seconds accumulate across slices.
+    """
+
+    chain: int
+    max_iterations: int
+    """The chain's **total** proposal budget (not a per-slice bound)."""
+    rng: np.random.Generator
+    current_plan: ExecutionPlan
+    current_cost: float
+    best_plan: ExecutionPlan
+    best_cost: float
+    n_iterations: int = 0
+    n_accepted: int = 0
+    history: List[Tuple[int, float, float]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    done: bool = False
+    """Set once the iteration or wall-clock budget is exhausted."""
+
+    @property
+    def remaining_iterations(self) -> int:
+        """Proposals left in the chain's total budget."""
+        return max(0, self.max_iterations - self.n_iterations)
+
+    def to_result(self) -> ChainResult:
+        """The chain's outcome so far, in the merged-result format."""
+        return ChainResult(
+            chain=self.chain,
+            best_plan=self.best_plan,
+            best_cost=self.best_cost,
+            n_iterations=self.n_iterations,
+            n_accepted=self.n_accepted,
+            history=list(self.history),
+            wall_seconds=self.wall_seconds,
+            cpu_seconds=self.cpu_seconds,
+        )
+
+
+@dataclass
 class ChainProblem:
     """Everything a worker process needs to re-create the searcher.
 
@@ -303,6 +354,24 @@ def _run_chain_in_worker(spec: ChainSpec) -> ChainResult:
     )
 
 
+def _advance_state_in_worker(
+    state: ChainState,
+    max_iterations: Optional[int],
+    time_budget_s: Optional[float],
+) -> ChainState:
+    """Advance one checkpointed chain on the worker's process-local searcher.
+
+    The state is self-contained (RNG included), so which worker advances
+    which slice — or whether a slice runs in the parent process instead —
+    never changes the chain's outcome.
+    """
+    if _WORKER_SEARCHER is None:
+        raise RuntimeError("chain worker used before initialization")
+    return _WORKER_SEARCHER.advance_chain(
+        state, max_iterations=max_iterations, time_budget_s=time_budget_s
+    )
+
+
 def _start_context() -> Optional[multiprocessing.context.BaseContext]:
     """Start method for chain workers: platform default unless overridden.
 
@@ -340,6 +409,10 @@ class ParallelSearchRunner:
         self.max_workers = max_workers
         self.last_granted = 0
         self.last_error: Optional[BaseException] = None
+        self._session_pool: Optional[ProcessPoolExecutor] = None
+        self._session_workers = 0
+        self._session_force = False
+        self._session_time_budget_s = 0.0
 
     def run(
         self,
@@ -429,3 +502,131 @@ class ParallelSearchRunner:
             self.core_budget.release(granted)
         pool.shutdown(wait=True)
         return sorted(results, key=lambda r: r.chain)
+
+    # ------------------------------------------------------------------ #
+    # Persistent sessions (sliced chain advances for online re-planning)
+    # ------------------------------------------------------------------ #
+    @property
+    def session_open(self) -> bool:
+        """Whether a persistent worker pool is ready for sliced advances."""
+        return self._session_pool is not None
+
+    def open_session(
+        self,
+        searcher: "MCMCSearcher",
+        start_plan: ExecutionPlan,
+        start_cost: float,
+        n_workers: Optional[int] = None,
+        force: bool = False,
+    ) -> bool:
+        """Start a persistent worker pool for sliced chain advances.
+
+        Unlike :meth:`run`, the pool outlives the call: the chains stay alive
+        across polls as :class:`ChainState` checkpoints round-trip between
+        the caller and the workers.  Cores are **not** held while the session
+        idles between polls — every :meth:`advance_states` leases cores from
+        the governor for just that slice, so a background session can never
+        oversubscribe foreground searches.  Returns whether a pool is ready
+        (``False`` means the caller should advance in-process).
+        """
+        if self._session_pool is not None:
+            return True
+        n_chains = max(1, int(searcher.config.n_chains))
+        want = n_chains if self.max_workers is None else min(n_chains, self.max_workers)
+        if n_workers is not None:
+            want = min(want, max(1, int(n_workers)))
+        estimator = searcher.estimator
+        problem = ChainProblem(
+            graph=searcher.graph,
+            workload=searcher.workload,
+            cluster=searcher.cluster,
+            options=searcher.options,
+            config=searcher.config,
+            start_assignments=dict(start_plan.assignments),
+            start_plan_name=start_plan.name,
+            start_cost=start_cost,
+            profiles=getattr(estimator, "profiles", None),
+            use_cuda_graph=getattr(estimator, "use_cuda_graph", True),
+            use_cache=getattr(estimator, "use_cache", True),
+            cross_check=getattr(estimator, "cross_check", False),
+        )
+        try:
+            self._session_pool = ProcessPoolExecutor(
+                max_workers=want,
+                mp_context=_start_context(),
+                initializer=_init_chain_worker,
+                initargs=(problem,),
+            )
+        except OSError as exc:  # pragma: no cover - sandboxes without fork
+            self.last_error = exc
+            return False
+        self._session_workers = want
+        self._session_force = force
+        self._session_time_budget_s = searcher.config.time_budget_s
+        return True
+
+    def advance_states(
+        self,
+        states: List[ChainState],
+        max_iterations: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+    ) -> Optional[List[ChainState]]:
+        """Advance checkpointed chains one slice each on the session pool.
+
+        Returns the advanced states (in input order), or ``None`` when this
+        slice should run in-process instead: no session pool is open, the
+        governor granted no cores for this poll (a temporary condition — try
+        again next poll), or the pool died (permanent: the session is closed,
+        :attr:`session_open` turns ``False``, and a fallback counter is
+        bumped, mirroring :meth:`run`).
+        """
+        if self._session_pool is None or not states:
+            return None
+        want = min(len(states), self._session_workers)
+        if self._session_force:
+            granted = self.core_budget.acquire(want, minimum=0)
+        else:
+            granted = self.core_budget.acquire(want, minimum=1)
+            if granted < 1:
+                return None
+        self.last_granted = max(granted, 1)
+        slice_budget = (
+            time_budget_s if time_budget_s is not None else self._session_time_budget_s
+        )
+        timeout = slice_budget + _WORKER_TIMEOUT_MARGIN_S
+        try:
+            futures = [
+                self._session_pool.submit(
+                    _advance_state_in_worker, state, max_iterations, time_budget_s
+                )
+                for state in states
+            ]
+            results = [future.result(timeout=timeout) for future in futures]
+        except (
+            OSError,
+            BrokenProcessPool,
+            pickle.PicklingError,
+            ImportError,
+            FutureTimeoutError,
+        ) as exc:
+            self.last_error = exc
+            get_logger("search").warning(
+                "search session fell back to in-process execution: %s: %s",
+                type(exc).__name__,
+                exc,
+            )
+            get_registry().counter(
+                "search_parallel_fallbacks_total",
+                "Process-parallel searches degraded to in-process execution",
+            ).inc()
+            self.close_session(wait=False)
+            return None
+        finally:
+            self.core_budget.release(granted)
+        return results
+
+    def close_session(self, wait: bool = True) -> None:
+        """Shut the persistent session pool down (idempotent)."""
+        pool, self._session_pool = self._session_pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=not wait)

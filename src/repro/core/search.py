@@ -42,6 +42,7 @@ from .parallel_search import (
     GLOBAL_CORE_BUDGET,
     ChainResult,
     ChainSpec,
+    ChainState,
     CoreBudget,
     ParallelSearchRunner,
     min_parallel_budget_s,
@@ -51,7 +52,14 @@ from .plan import Allocation, ExecutionPlan
 from .pruning import PruneConfig, allocation_options, search_space_size
 from .workload import RLHFWorkload
 
-__all__ = ["SearchConfig", "SearchResult", "MCMCSearcher", "search_execution_plan"]
+__all__ = [
+    "SearchConfig",
+    "SearchResult",
+    "SessionProgress",
+    "SearchSession",
+    "MCMCSearcher",
+    "search_execution_plan",
+]
 
 _PARALLEL_MODES = ("auto", "process", "off")
 
@@ -96,6 +104,20 @@ class SearchConfig:
             raise ValueError(
                 f"parallel must be one of {_PARALLEL_MODES}, got {self.parallel!r}"
             )
+        # Budget validation at construction: a bad budget would otherwise
+        # fail deep in chain setup (or silently search nothing forever).
+        # ``max_iterations=0`` stays legal on purpose — it is the documented
+        # "evaluate the initial candidates only" budget.
+        if self.max_iterations < 0:
+            raise ValueError(
+                f"max_iterations must be >= 0, got {self.max_iterations}"
+            )
+        if not self.time_budget_s > 0:
+            raise ValueError(
+                f"time_budget_s must be > 0, got {self.time_budget_s}"
+            )
+        if self.n_chains < 1:
+            raise ValueError(f"n_chains must be >= 1, got {self.n_chains}")
 
 
 @dataclass
@@ -213,6 +235,24 @@ class MCMCSearcher:
             assignments[call_name] = best
         return ExecutionPlan(assignments, name="greedy-initial")
 
+    def initial_candidate(self) -> Tuple[ExecutionPlan, float]:
+        """Best of the greedy plan, the seed plans and ``config.initial_plan``.
+
+        This is the plan every chain starts from — and the floor any search
+        or session result can only improve on.
+        """
+        cfg = self.config
+        start_plan = self.greedy_initial_plan()
+        start_cost = self.estimator.cost(start_plan, cfg.oom_penalty)
+        candidates = list(self.seed_plans)
+        if cfg.initial_plan is not None:
+            candidates.append(cfg.initial_plan)
+        for seed_plan in candidates:
+            seed_cost = self.estimator.cost(seed_plan, cfg.oom_penalty)
+            if seed_cost < start_cost:
+                start_plan, start_cost = seed_plan, seed_cost
+        return start_plan, start_cost
+
     # ------------------------------------------------------------------ #
     # MCMC
     # ------------------------------------------------------------------ #
@@ -269,38 +309,64 @@ class MCMCSearcher:
             return np.random.default_rng(self.config.seed)
         return np.random.default_rng([self.config.seed, chain])
 
-    def run_chain(
+    def init_chain_state(
         self,
         chain: int,
         start_plan: ExecutionPlan,
         start_cost: float,
         max_iterations: int,
-    ) -> ChainResult:
-        """Run one independent Metropolis-Hastings chain.
+    ) -> ChainState:
+        """A fresh checkpointable chain, positioned before its first proposal."""
+        return ChainState(
+            chain=chain,
+            max_iterations=max(0, int(max_iterations)),
+            rng=self._chain_rng(chain),
+            current_plan=start_plan,
+            current_cost=start_cost,
+            best_plan=start_plan,
+            best_cost=start_cost,
+        )
 
-        The chain's outcome is a pure function of the search problem, the
-        seed and ``chain`` — no wall-clock dependence except the time budget
-        cutoff — so running it in-process or in a worker process yields the
-        same result.  History samples are chain-local: iterations count from
-        1 and elapsed times are measured from the chain's own start.
+    def advance_chain(
+        self,
+        state: ChainState,
+        max_iterations: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+    ) -> ChainState:
+        """Advance one checkpointed chain by a slice of its budgets.
 
-        With ``record_history=True`` the full sample list travels back from
-        worker processes (one tuple per iteration — identical in both
-        execution modes, which the determinism tests rely on); for very long
-        parallel runs prefer ``record_history=False`` to skip that pickle
-        traffic.
+        Mutates and returns ``state``.  ``max_iterations``/``time_budget_s``
+        bound this *slice*; the chain's total budgets
+        (``state.max_iterations`` and ``config.time_budget_s`` worth of
+        accumulated wall time) always apply on top, and exhausting either
+        marks the state ``done``.  Advancing a fresh state without slice
+        bounds is exactly :meth:`run_chain`; because the RNG travels in the
+        state and nothing is drawn between slices, the proposal stream —
+        and therefore the best plan/cost and history — is bit-identical no
+        matter how the iteration budget is sliced (a binding *time* budget
+        is timing-dependent in any mode, sliced or not).
         """
         cfg = self.config
-        rng = self._chain_rng(chain)
+        if state.done:
+            return state
+        slice_iters = state.remaining_iterations
+        if max_iterations is not None:
+            slice_iters = min(slice_iters, max(0, int(max_iterations)))
+        remaining_time = cfg.time_budget_s - state.wall_seconds
+        slice_time = (
+            remaining_time
+            if time_budget_s is None
+            else min(float(time_budget_s), remaining_time)
+        )
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
-        deadline = wall_start + cfg.time_budget_s
-        current, current_cost = start_plan, start_cost
-        best_plan, best_cost = start_plan, start_cost
-        history: List[Tuple[int, float, float]] = []
+        deadline = wall_start + slice_time
+        rng = state.rng
+        current, current_cost = state.current_plan, state.current_cost
+        best_plan, best_cost = state.best_plan, state.best_cost
         n_accepted = 0
         iteration = 0
-        while iteration < max_iterations:
+        while iteration < slice_iters:
             if time.perf_counter() > deadline:
                 break
             iteration += 1
@@ -321,19 +387,49 @@ class MCMCSearcher:
                 if current_cost < best_cost:
                     best_plan, best_cost = current, current_cost
             if cfg.record_history:
-                history.append(
-                    (iteration, time.perf_counter() - wall_start, best_cost)
+                state.history.append(
+                    (
+                        state.n_iterations + iteration,
+                        state.wall_seconds + (time.perf_counter() - wall_start),
+                        best_cost,
+                    )
                 )
-        return ChainResult(
-            chain=chain,
-            best_plan=best_plan,
-            best_cost=best_cost,
-            n_iterations=iteration,
-            n_accepted=n_accepted,
-            history=history,
-            wall_seconds=time.perf_counter() - wall_start,
-            cpu_seconds=time.process_time() - cpu_start,
-        )
+        state.current_plan, state.current_cost = current, current_cost
+        state.best_plan, state.best_cost = best_plan, best_cost
+        state.n_iterations += iteration
+        state.n_accepted += n_accepted
+        state.wall_seconds += time.perf_counter() - wall_start
+        state.cpu_seconds += time.process_time() - cpu_start
+        if (
+            state.n_iterations >= state.max_iterations
+            or state.wall_seconds >= cfg.time_budget_s
+        ):
+            state.done = True
+        return state
+
+    def run_chain(
+        self,
+        chain: int,
+        start_plan: ExecutionPlan,
+        start_cost: float,
+        max_iterations: int,
+    ) -> ChainResult:
+        """Run one independent Metropolis-Hastings chain to completion.
+
+        The chain's outcome is a pure function of the search problem, the
+        seed and ``chain`` — no wall-clock dependence except the time budget
+        cutoff — so running it in-process or in a worker process yields the
+        same result.  History samples are chain-local: iterations count from
+        1 and elapsed times are measured from the chain's own start.
+
+        With ``record_history=True`` the full sample list travels back from
+        worker processes (one tuple per iteration — identical in both
+        execution modes, which the determinism tests rely on); for very long
+        parallel runs prefer ``record_history=False`` to skip that pickle
+        traffic.
+        """
+        state = self.init_chain_state(chain, start_plan, start_cost, max_iterations)
+        return self.advance_chain(state).to_result()
 
     def _chain_specs(self, n_chains: int) -> List[ChainSpec]:
         """Even split of the iteration budget (earlier chains take remainders)."""
@@ -379,15 +475,7 @@ class MCMCSearcher:
         """
         cfg = self.config
         start_time = time.perf_counter()
-        start_plan = self.greedy_initial_plan()
-        start_cost = self.estimator.cost(start_plan, cfg.oom_penalty)
-        candidates = list(self.seed_plans)
-        if cfg.initial_plan is not None:
-            candidates.append(cfg.initial_plan)
-        for seed_plan in candidates:
-            seed_cost = self.estimator.cost(seed_plan, cfg.oom_penalty)
-            if seed_cost < start_cost:
-                start_plan, start_cost = seed_plan, seed_cost
+        start_plan, start_cost = self.initial_candidate()
         # Report the actual chain start (greedy, seed or warm-start hint —
         # whichever won), not unconditionally the greedy plan.
         initial_plan, initial_cost = start_plan, start_cost
@@ -514,6 +602,246 @@ class MCMCSearcher:
             chain_cpu_seconds=[r.cpu_seconds for r in results],
             execution_mode=execution_mode,
             n_workers=n_workers,
+        )
+
+
+@dataclass(frozen=True)
+class SessionProgress:
+    """One poll's view of a running :class:`SearchSession`."""
+
+    n_iterations: int
+    """Total proposals consumed so far, summed over all chains."""
+    new_iterations: int
+    """Proposals consumed by this poll."""
+    best_cost: float
+    improved: bool
+    """Whether this poll lowered the session's best cost."""
+    done: bool
+    """Every chain exhausted its budgets; further polls are no-ops."""
+    wall_seconds: float
+    """Summed per-chain compute seconds consumed so far (not session age)."""
+    execution_mode: str
+    """How this poll's slices ran: ``"sequential"``, ``"process"`` or
+    ``"idle"`` (nothing left to advance)."""
+
+
+class SearchSession:
+    """A resumable, pollable plan search (the online re-planning primitive).
+
+    The same Metropolis-Hastings chains :meth:`MCMCSearcher.search` runs to
+    completion, executed in slices: :meth:`start` evaluates the initial
+    candidates and positions the chains, each :meth:`poll` consumes one slice
+    of the budgets, :meth:`best_so_far` reads the merged best at any point,
+    and :meth:`stop` releases any worker pool and returns the final merged
+    :class:`SearchResult`.  Slicing never changes the outcome: at equal total
+    iteration budgets, the session's best plan/cost are bit-identical to an
+    uninterrupted ``search()`` with the same seed, because each chain's RNG
+    travels inside its checkpointed :class:`ChainState` and nothing is drawn
+    between slices.
+
+    Multi-chain sessions keep their chains alive across polls on a
+    persistent worker pool (states round-trip through pickles, mirroring the
+    ``ChainSpec``/``ChainResult`` path of one-shot searches); the shared
+    :class:`CoreBudget` governor is consulted *per poll*, so an idle session
+    holds no cores, and on a busy machine a poll degrades to in-process
+    execution instead of oversubscribing foreground searches.
+    """
+
+    def __init__(
+        self,
+        searcher: MCMCSearcher,
+        slice_iterations: Optional[int] = None,
+        slice_time_s: Optional[float] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if slice_iterations is not None and slice_iterations < 1:
+            raise ValueError(
+                f"slice_iterations must be >= 1, got {slice_iterations}"
+            )
+        self.searcher = searcher
+        cfg = searcher.config
+        self.slice_iterations = (
+            int(slice_iterations)
+            if slice_iterations is not None
+            else max(1, cfg.max_iterations // 10)
+        )
+        """Default proposals per chain per poll (a tenth of the budget)."""
+        self.slice_time_s = slice_time_s
+        """Default wall-clock bound per chain per poll (``None``: unbounded —
+        the iteration slice and the chain's total time budget still apply)."""
+        self.max_workers = max_workers
+        self.states: List[ChainState] = []
+        self.n_polls = 0
+        self._runner: Optional[ParallelSearchRunner] = None
+        self._started_at: Optional[float] = None
+        self._initial_plan: Optional[ExecutionPlan] = None
+        self._initial_cost = float("inf")
+        self._stopped = False
+        self._used_process = False
+        self._n_workers = 1
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SearchSession":
+        """Evaluate the initial candidates and position the chains (idempotent)."""
+        if self._started_at is not None:
+            return self
+        cfg = self.searcher.config
+        self._started_at = time.perf_counter()
+        start_plan, start_cost = self.searcher.initial_candidate()
+        self._initial_plan, self._initial_cost = start_plan, start_cost
+        n_chains = max(1, int(cfg.n_chains))
+        specs = self.searcher._chain_specs(n_chains)
+        self.states = [
+            self.searcher.init_chain_state(
+                spec.chain, start_plan, start_cost, spec.max_iterations
+            )
+            for spec in specs
+        ]
+        # Same gate as search(): a persistent pool only when the chains are
+        # parallelizable at all and big enough to amortise the start-up.
+        if n_chains > 1 and cfg.parallel != "off" and self.searcher._estimator_portable():
+            force = cfg.parallel == "process"
+            if force or self.searcher._auto_parallel_worthwhile(specs):
+                runner = ParallelSearchRunner(
+                    core_budget=self.searcher.core_budget,
+                    max_workers=self.max_workers,
+                )
+                if runner.open_session(
+                    self.searcher, start_plan, start_cost, force=force
+                ):
+                    self._runner = runner
+        return self
+
+    def stop(self) -> SearchResult:
+        """Close any worker pool and return the final merged result."""
+        self.start()
+        if self._runner is not None:
+            self._runner.close_session()
+            self._runner = None
+        result = self.result()
+        if not self._stopped:
+            self._stopped = True
+            MCMCSearcher._publish_metrics(result)
+        return result
+
+    @property
+    def started(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def done(self) -> bool:
+        """All chains exhausted (a never-started session is not done)."""
+        return self.started and all(state.done for state in self.states)
+
+    # ------------------------------------------------------------------ #
+    # Progress
+    # ------------------------------------------------------------------ #
+    @property
+    def initial_cost(self) -> float:
+        return self._initial_cost
+
+    @property
+    def n_iterations(self) -> int:
+        return sum(state.n_iterations for state in self.states)
+
+    def best_so_far(self) -> Tuple[Optional[ExecutionPlan], float]:
+        """Merged best over the initial candidate and every chain.
+
+        Deterministic merge, mirroring ``_merge_results``: chain order with
+        strict ``<``, so slicing and execution mode cannot flip ties.
+        """
+        best_plan, best_cost = self._initial_plan, self._initial_cost
+        for state in self.states:
+            if state.best_cost < best_cost:
+                best_plan, best_cost = state.best_plan, state.best_cost
+        return best_plan, best_cost
+
+    @property
+    def best_cost(self) -> float:
+        return self.best_so_far()[1]
+
+    def poll(
+        self,
+        max_iterations: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SessionProgress:
+        """Advance every unfinished chain by one slice and report progress.
+
+        Slice bounds default to the session's ``slice_iterations``/
+        ``slice_time_s``.  Worker-pool sessions round-trip the chain states
+        through the pool; when the governor denies cores for this poll (or
+        the pool died) the slice runs on the calling thread instead — the
+        states are self-contained, so mixing execution modes across polls
+        does not change the outcome.
+        """
+        if self._stopped:
+            raise RuntimeError("SearchSession has been stopped")
+        self.start()
+        before_best = self.best_cost
+        before_iters = self.n_iterations
+        active = [state for state in self.states if not state.done]
+        slice_iters = (
+            int(max_iterations) if max_iterations is not None else self.slice_iterations
+        )
+        slice_time = time_budget_s if time_budget_s is not None else self.slice_time_s
+        mode = "idle"
+        if active:
+            advanced = None
+            if self._runner is not None:
+                advanced = self._runner.advance_states(active, slice_iters, slice_time)
+                if advanced is None and not self._runner.session_open:
+                    self._runner = None  # pool died; stay in-process from here on
+            if advanced is not None:
+                by_chain = {state.chain: state for state in advanced}
+                self.states = [
+                    by_chain.get(state.chain, state) for state in self.states
+                ]
+                mode = "process"
+                self._used_process = True
+                if self._runner is not None:
+                    self._n_workers = max(self._n_workers, self._runner.last_granted)
+            else:
+                # In-process slice, accounted with the governor like the
+                # sequential fallback of search() (minimum=0: a fully loaded
+                # machine still advances, just without claiming a core).
+                with self.searcher.core_budget.lease(1, minimum=0):
+                    for state in active:
+                        self.searcher.advance_chain(state, slice_iters, slice_time)
+                mode = "sequential"
+        self.n_polls += 1
+        best = self.best_cost
+        return SessionProgress(
+            n_iterations=self.n_iterations,
+            new_iterations=self.n_iterations - before_iters,
+            best_cost=best,
+            improved=best < before_best,
+            done=self.done,
+            wall_seconds=sum(state.wall_seconds for state in self.states),
+            execution_mode=mode,
+        )
+
+    def result(self) -> SearchResult:
+        """Merged result of the work done so far (does not stop the session).
+
+        ``elapsed_seconds`` is the session's age (including idle time between
+        polls); ``chain_wall_seconds`` holds the actual compute consumed.
+        """
+        self.start()
+        return self.searcher._merge_results(
+            [state.to_result() for state in self.states],
+            initial_plan=self._initial_plan,
+            initial_cost=self._initial_cost,
+            start_cost=self._initial_cost,
+            start_time=self._started_at,
+            n_chains=len(self.states),
+            execution_mode="process" if self._used_process else "sequential",
+            n_workers=self._n_workers,
         )
 
 

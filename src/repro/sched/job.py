@@ -28,6 +28,7 @@ from ..core.plan import ExecutionPlan
 from ..core.workload import RLHFWorkload, instructgpt_workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..service.server import PlanSession
     from ..sim.kernel import Event
     from .partition import Partition
     from .profiles import IterationProfile
@@ -161,6 +162,11 @@ class Job:
     n_replans: int = 0
     n_preemptions: int = 0
     n_resizes: int = 0
+    n_swaps: int = 0
+    """Hot plan swaps taken at iteration boundaries (online re-planning)."""
+    session: Optional["PlanSession"] = None
+    """Background online re-planning session improving the current plan
+    (only when the scheduler runs with ``online_replanning`` enabled)."""
     gpu_seconds: float = 0.0
     uid: int = field(default_factory=lambda: next(_JOB_IDS))
 

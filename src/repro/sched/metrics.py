@@ -31,6 +31,8 @@ class JobMetrics:
     n_resizes: int
     gpu_seconds: float
     phase: str
+    n_swaps: int = 0
+    """Hot plan swaps taken at iteration boundaries (online re-planning)."""
 
     @property
     def completed(self) -> bool:
@@ -63,6 +65,7 @@ class JobMetrics:
             "n_replans": self.n_replans,
             "n_preemptions": self.n_preemptions,
             "n_resizes": self.n_resizes,
+            "n_swaps": self.n_swaps,
             "gpu_seconds": self.gpu_seconds,
             "phase": self.phase,
         }
@@ -115,6 +118,16 @@ class ScheduleReport:
     model (cache misses of the :class:`~repro.sched.profiles.IterationProfiler`)."""
     total_switch_seconds: float = 0.0
     """Parameter-migration time charged across all placements and resizes."""
+    n_search_polls: int = 0
+    """Background search slices consumed by online re-planning sessions."""
+    n_swaps_rejected: int = 0
+    """Hot swaps declined because the gain did not clear the margin after
+    charging the switch cost."""
+    swap_seconds_saved: float = 0.0
+    """Estimated net seconds saved by taken swaps (remaining iterations times
+    the per-iteration gain, minus the charged switch cost)."""
+    online_sessions: int = 0
+    """Background re-planning sessions opened over the run."""
     trace_path: Optional[str] = None
     """Where the merged Chrome trace of this run was written (if exported)."""
     metrics_path: Optional[str] = None
@@ -177,6 +190,11 @@ class ScheduleReport:
     def n_resizes(self) -> int:
         return sum(job.n_resizes for job in self.jobs)
 
+    @property
+    def n_swaps(self) -> int:
+        """Hot plan swaps taken at iteration boundaries across all jobs."""
+        return sum(job.n_swaps for job in self.jobs)
+
     # ------------------------------------------------------------------ #
     # Serialization / presentation
     # ------------------------------------------------------------------ #
@@ -192,6 +210,7 @@ class ScheduleReport:
             "replans": self.n_replans,
             "preempts": self.n_preemptions,
             "resizes": self.n_resizes,
+            "swaps": self.n_swaps,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -212,6 +231,11 @@ class ScheduleReport:
             "n_replans": self.n_replans,
             "n_preemptions": self.n_preemptions,
             "n_resizes": self.n_resizes,
+            "n_swaps": self.n_swaps,
+            "n_search_polls": self.n_search_polls,
+            "n_swaps_rejected": self.n_swaps_rejected,
+            "swap_seconds_saved": self.swap_seconds_saved,
+            "online_sessions": self.online_sessions,
             "candidates_scored": self.candidates_scored,
             "cold_searches": self.cold_searches.to_dict(),
             "replan_searches": self.replan_searches.to_dict(),

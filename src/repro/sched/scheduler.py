@@ -49,12 +49,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.hardware import ClusterSpec
+from ..core.parallel_search import _env_float
+from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig
 from ..core.search import SearchConfig
 from ..obs.export import record_counter_tracks, write_metrics_snapshot
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
-from ..service.server import PlanService
+from ..service.server import PlanRequest, PlanService
 from ..sim.kernel import Event, SimKernel
 from ..sim.trace import TraceRecorder
 from .costing import Candidate, PlanCosting
@@ -68,9 +70,11 @@ __all__ = ["NodeFailure", "SchedulerConfig", "ClusterScheduler", "schedule_trace
 
 # Event kinds with their processing priority within one timestamp: capacity
 # changes first (failures take GPUs away, recoveries return them), then
-# arrivals, then iteration boundaries (which include completions).
+# arrivals, then iteration boundaries (which include completions), then
+# background search polls (which only consume search budget, never capacity).
 _FAILURE, _RECOVERY, _ARRIVAL, _ITERATION = "failure", "recovery", "arrival", "iteration"
-_PRIORITY = {_FAILURE: 0, _RECOVERY: 1, _ARRIVAL: 2, _ITERATION: 3}
+_SEARCH_POLL = "search_poll"
+_PRIORITY = {_FAILURE: 0, _RECOVERY: 1, _ARRIVAL: 2, _ITERATION: 3, _SEARCH_POLL: 4}
 
 
 @dataclass(frozen=True)
@@ -107,6 +111,32 @@ class SchedulerConfig:
     """Minimum relative iterations/sec gain for an elastic migration."""
     max_dispatch_rounds: int = 256
     """Safety bound on placement/preemption rounds per event."""
+    online_replanning: bool = False
+    """Keep searching better plans for running jobs in the background and
+    hot-swap at iteration boundaries when the remaining-work gain clears
+    ``swap_margin`` after charging the real parameter-switch cost."""
+    online_search: Optional[SearchConfig] = None
+    """Budget of one job's background session; defaults to 4x ``search``
+    (spread over the job's runtime, one slice per poll)."""
+    poll_interval_s: float = field(
+        default_factory=lambda: _env_float("REPRO_SCHED_POLL_INTERVAL", 20.0)
+    )
+    """Virtual seconds between ``SEARCH_POLL`` kernel events
+    (``REPRO_SCHED_POLL_INTERVAL``)."""
+    poll_iterations: int = 200
+    """Search proposals per chain consumed by one background poll."""
+    swap_margin: float = field(
+        default_factory=lambda: max(1.0, _env_float("REPRO_SCHED_SWAP_MARGIN", 1.05))
+    )
+    """Minimum ratio of current planned iteration time over the candidate's
+    switch-amortized iteration time for a hot swap (``REPRO_SCHED_SWAP_MARGIN``;
+    clamped to >= 1 so a swap can never be taken at a loss)."""
+    bg_core_share: float = field(
+        default_factory=lambda: min(1.0, _env_float("REPRO_BG_CORE_SHARE", 0.5))
+    )
+    """Fraction of the service's core budget one background session may
+    borrow per poll (``REPRO_BG_CORE_SHARE``); the shared governor still
+    arbitrates, so foreground replans always win the contention."""
 
     def resolved_replan_search(self) -> SearchConfig:
         if self.replan_search is not None:
@@ -115,6 +145,21 @@ class SchedulerConfig:
             self.search,
             max_iterations=max(1, self.search.max_iterations // 4),
             time_budget_s=self.search.time_budget_s / 4.0,
+        )
+
+    def resolved_online_search(self) -> SearchConfig:
+        """Budget of one background session (default: 4x the cold budget).
+
+        Generous on purpose — the whole point of online re-planning is to
+        spend otherwise-idle time pushing past what admission could afford;
+        the session consumes it one :attr:`poll_iterations` slice at a time.
+        """
+        if self.online_search is not None:
+            return self.online_search
+        return dataclasses.replace(
+            self.search,
+            max_iterations=max(1, self.search.max_iterations * 4),
+            time_budget_s=self.search.time_budget_s * 4.0,
         )
 
 
@@ -188,6 +233,14 @@ class ClusterScheduler:
         self._n_recoveries = 0
         self._busy_until = 0.0
         self._capacity_dirty = False
+        self._n_search_polls = 0
+        self._n_swaps_rejected = 0
+        self._n_sessions_started = 0
+        self._swap_seconds_saved = 0.0
+        self._poll_event: Optional[Event] = None
+        self._bg_workers = max(
+            1, int(self.service.core_budget.total * self.config.bg_core_share)
+        )
         self._obs_log = get_logger("sched")
         self._m_timeline = self.registry.counter(
             "sched_timeline_events_total",
@@ -205,6 +258,19 @@ class ClusterScheduler:
         )
         self._m_utilization = self.registry.gauge(
             "sched_gpu_utilization", "Allocated fraction of healthy GPUs"
+        )
+        self._m_polls = self.registry.counter(
+            "sched_search_polls_total",
+            "Background search slices consumed by online sessions",
+        )
+        self._m_swaps = self.registry.counter(
+            "sched_swaps_total",
+            "Hot plan swap decisions at iteration boundaries",
+            labels=("outcome",),
+        )
+        self._m_swap_saved = self.registry.histogram(
+            "sched_swap_net_seconds_saved",
+            "Estimated net seconds saved by one taken hot swap",
         )
         # Live counter tracks for the merged Chrome trace, sampled in virtual
         # time at every drained kernel timestamp.
@@ -258,6 +324,7 @@ class ClusterScheduler:
             _ITERATION: self._handle_iteration,
             _FAILURE: self._handle_failure,
             _RECOVERY: self._handle_recovery,
+            _SEARCH_POLL: self._handle_search_poll,
         }
         try:
             # All events of one timestamp drain before scheduling decisions,
@@ -269,6 +336,8 @@ class ClusterScheduler:
                 on_timestamp_drained=self._after_timestamp,
             )
         finally:
+            for job in self.jobs:
+                self._stop_session(job)
             if self._owns_service:
                 self.service.close()
         report = self._report()
@@ -342,6 +411,10 @@ class ClusterScheduler:
                     "GPU utilization": utilization,
                     "plan cache hit ratio": service_delta.hit_rate,
                     "plan search seconds": service_delta.search_seconds,
+                    "online sessions": float(
+                        sum(1 for job in self.jobs if job.session is not None)
+                    ),
+                    "plan swaps": float(sum(job.n_swaps for job in self.jobs)),
                 },
             )
         )
@@ -363,12 +436,15 @@ class ClusterScheduler:
         if job.iterations_done >= job.spec.target_iterations:
             self._complete(job, time)
         else:
+            if self._maybe_swap(job, time):
+                return  # _start_segment armed the next boundary
             job.iteration_started_at = time
             job.pending_event = self._push(
                 time + job.seconds_per_iteration, _ITERATION, (job, job.generation)
             )
 
     def _complete(self, job: Job, time: float) -> None:
+        self._stop_session(job)
         job.phase = JobPhase.COMPLETED
         job.completed_at = time
         job.segment_started_at = None
@@ -394,6 +470,127 @@ class ClusterScheduler:
         self._capacity_dirty = True
         self._log(time, "recovery", None, f"node {node} back")
 
+    # ------------------------------------------------------------------ #
+    # Online re-planning: background sessions and hot swaps
+    # ------------------------------------------------------------------ #
+    def _maybe_start_session(self, job: Job, time: float) -> None:
+        """Open a background search for a freshly (re)planned running job.
+
+        The session searches the job's *current* partition with the generous
+        online budget, seeded from the active plan (so ``best_so_far`` can
+        only be at least as good); nearly-finished jobs skip it — nothing
+        left to amortise a swap over.
+        """
+        if not self.config.online_replanning:
+            return
+        if job.partition is None or job.plan is None or job.session is not None:
+            return
+        if job.remaining_iterations < 2:
+            return
+        search = dataclasses.replace(
+            self.config.resolved_online_search(), initial_plan=job.plan
+        )
+        request = PlanRequest(
+            graph=job.graph,
+            workload=job.workload,
+            cluster=job.partition.spec,
+            search=search,
+            prune=self.config.prune,
+        )
+        job.session = self.service.start_session(
+            request,
+            slice_iterations=self.config.poll_iterations,
+            max_workers=self._bg_workers,
+        )
+        self._n_sessions_started += 1
+        self._ensure_poll_scheduled(time)
+
+    def _stop_session(self, job: Job) -> None:
+        """Settle and unregister a job's background session (idempotent)."""
+        session = job.session
+        if session is None:
+            return
+        job.session = None
+        try:
+            self.service.stop_session(session.session_id)
+        except KeyError:
+            # Already unregistered (e.g. the service was shut down first).
+            session.stop()
+
+    def _ensure_poll_scheduled(self, time: float) -> None:
+        if self._poll_event is not None:
+            return
+        interval = max(self.config.poll_interval_s, 1e-6)
+        self._poll_event = self._push(time + interval, _SEARCH_POLL, None)
+
+    def _handle_search_poll(self, time: float, _payload: object) -> None:
+        """Advance every running job's background search by one slice.
+
+        Reschedules itself only while some session still has budget left, so
+        the simulation always terminates once the searches run dry.
+        """
+        self._poll_event = None
+        any_active = False
+        for job in self._running():
+            session = job.session
+            if session is None or session.closed or session.done:
+                continue
+            session.poll()
+            self._n_search_polls += 1
+            self._m_polls.inc()
+            if not session.done:
+                any_active = True
+        if any_active:
+            self._ensure_poll_scheduled(time)
+
+    def _maybe_swap(self, job: Job, time: float) -> bool:
+        """Hot-swap to the session's best plan at an iteration boundary.
+
+        The decision charges the real parameter-switch cost: with ``r``
+        iterations remaining, the candidate's effective iteration time is
+        ``cost + switch / r``, and the swap is taken only when the current
+        planned iteration time exceeds that by ``swap_margin``.  Taking it
+        cuts the segment (stopping the old session), restarts on the same
+        partition with the new plan, and opens a fresh session seeded from
+        it — so the timeline, trace and counters all see the swap.
+        """
+        session = job.session
+        if session is None or session.closed:
+            return False
+        plan, cost = session.best_so_far()
+        planned = job.planned_seconds_per_iteration
+        if plan is None or cost <= 0 or not cost < planned:
+            return False
+        remaining = job.remaining_iterations
+        if remaining < 1:
+            return False
+        if job.plan is not None and plan.to_dict() == job.plan.to_dict():
+            return False
+        switch = self.migration.switch_seconds(
+            job, job.partition, job.plan, job.partition, plan
+        )
+        effective = cost + switch / remaining
+        if effective <= 0 or planned / effective < self.config.swap_margin:
+            self._n_swaps_rejected += 1
+            self._m_swaps.labels(outcome="rejected").inc()
+            return False
+        saved = remaining * (planned - cost) - switch
+        partition = job.partition
+        self._cut_segment(job, time)
+        charged = self._start_segment(job, partition, plan, cost, time)
+        job.n_swaps += 1
+        self._swap_seconds_saved += saved
+        self._m_swaps.labels(outcome="taken").inc()
+        self._m_swap_saved.observe(saved)
+        detail = (
+            f"{job.seconds_per_iteration:.2f} s/iter "
+            f"(planned {cost:.2f}, was {planned:.2f}, ~{saved:.1f} s saved)"
+        )
+        if charged > 0:
+            detail += f", {charged:.2f} s param switch"
+        self._log(time, "swap", job, detail)
+        return True
+
     def _cut_segment(self, job: Job, time: float) -> None:
         """Shared teardown of a running segment (displacement or migration).
 
@@ -402,6 +599,7 @@ class ClusterScheduler:
         migration costs will be charged against.  The in-flight iteration is
         lost — progress is iteration-granular.
         """
+        self._stop_session(job)
         self._accrue(job, time)
         self._close_segment(job, time)
         if job.pending_event is not None:
@@ -467,14 +665,21 @@ class ClusterScheduler:
             self._try_resizes(time)
 
     def _start_segment(
-        self, job: Job, partition: Partition, candidate: Candidate, time: float
+        self,
+        job: Job,
+        partition: Partition,
+        plan: ExecutionPlan,
+        planned_seconds_per_iteration: float,
+        time: float,
     ) -> float:
         """Begin a running segment: profile, charge migration, arm the clock.
 
-        Returns the parameter-switch seconds charged ahead of the first
-        iteration.
+        The single entry point for *every* active-plan change (placement,
+        elastic resize, hot swap), so ``job.planned_seconds_per_iteration`` —
+        the baseline resize and swap decisions compare against — always
+        reflects the plan actually running.  Returns the parameter-switch
+        seconds charged ahead of the first iteration.
         """
-        plan = candidate.plan
         profile = self.profiler.profile(job, partition, plan)
         switch = self.migration.switch_seconds(
             job, job.prev_partition, job.prev_plan, partition, plan,
@@ -485,7 +690,7 @@ class ClusterScheduler:
         job.plan = plan
         job.profile = profile
         job.seconds_per_iteration = profile.seconds_per_iteration
-        job.planned_seconds_per_iteration = candidate.seconds_per_iteration
+        job.planned_seconds_per_iteration = planned_seconds_per_iteration
         job.phase = JobPhase.RUNNING
         job.segment_started_at = time
         job.switch_seconds += switch
@@ -506,6 +711,7 @@ class ClusterScheduler:
         )
         self._segments.append(segment)
         self._open_segments[job.uid] = segment
+        self._maybe_start_session(job, time)
         return switch
 
     def _close_segment(self, job: Job, time: float) -> None:
@@ -518,7 +724,10 @@ class ClusterScheduler:
         job = candidate.job
         self._queue.remove(job)
         self.manager.allocate(candidate.partition, job.uid)
-        switch = self._start_segment(job, candidate.partition, candidate, time)
+        switch = self._start_segment(
+            job, candidate.partition, candidate.plan,
+            candidate.seconds_per_iteration, time,
+        )
         replanned = job.first_started_at is not None
         if replanned:
             job.n_replans += 1
@@ -587,7 +796,9 @@ class ClusterScheduler:
             self._cut_segment(job, time)
             self.manager.release(job.uid)
             self.manager.allocate(best.partition, job.uid)
-            switch = self._start_segment(job, best.partition, best, time)
+            switch = self._start_segment(
+                job, best.partition, best.plan, best.seconds_per_iteration, time
+            )
             job.n_resizes += 1
             detail = (
                 f"grew to {best.partition.describe()}, "
@@ -614,6 +825,7 @@ class ClusterScheduler:
                 n_resizes=job.n_resizes,
                 gpu_seconds=job.gpu_seconds,
                 phase=job.phase.value,
+                n_swaps=job.n_swaps,
             )
             for job in self.jobs
         ]
@@ -638,6 +850,10 @@ class ClusterScheduler:
             n_events=self.kernel.n_processed,
             engine_profile_runs=self.profiler.engine_runs,
             total_switch_seconds=sum(job.switch_seconds for job in self.jobs),
+            n_search_polls=self._n_search_polls,
+            n_swaps_rejected=self._n_swaps_rejected,
+            swap_seconds_saved=self._swap_seconds_saved,
+            online_sessions=self._n_sessions_started,
         )
 
     def _service_stats_delta(self) -> Dict[str, float]:

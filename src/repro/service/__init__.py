@@ -22,8 +22,10 @@ from .server import (
     PlanRequest,
     PlanResponse,
     PlanService,
+    PlanSession,
     RequestStats,
     ServiceStats,
+    SessionStatus,
 )
 from .warm_start import adapt_plan, select_warm_start, similarity_distance
 
@@ -40,6 +42,8 @@ __all__ = [
     "PlanResponse",
     "RequestStats",
     "ServiceStats",
+    "SessionStatus",
+    "PlanSession",
     "PlanService",
     "PlanClient",
 ]

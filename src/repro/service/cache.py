@@ -211,6 +211,23 @@ class PlanCache:
                 self.evictions += 1
             self._persist()
 
+    def refresh(self, entry: PlanCacheEntry) -> bool:
+        """Replace the cached entry for ``entry.key`` only if this one is better.
+
+        The staleness hook of online re-planning: a background session that
+        beats the cached cost for its fingerprint writes its improved plan
+        back (including persistence), so future requests are never served a
+        plan the service already knows how to beat.  Entries at least as good
+        as the candidate are left untouched; returns whether the cache
+        changed.
+        """
+        with self._lock:
+            existing = self._entries.get(entry.key)
+            if existing is not None and existing.best_cost <= entry.best_cost:
+                return False
+            self.put(entry)
+            return True
+
     def family_entries(self, family: str) -> List[PlanCacheEntry]:
         """All cached entries of a fingerprint family, most recent first."""
         with self._lock:

@@ -28,7 +28,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.hardware import ClusterSpec
 from ..core.dataflow import DataflowGraph
@@ -36,7 +36,7 @@ from ..core.estimator import RuntimeEstimator
 from ..core.parallel_search import GLOBAL_CORE_BUDGET, CoreBudget
 from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig, allocation_options
-from ..core.search import MCMCSearcher, SearchConfig, SearchResult
+from ..core.search import MCMCSearcher, SearchConfig, SearchResult, SearchSession
 from ..core.workload import RLHFWorkload
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
@@ -49,6 +49,8 @@ __all__ = [
     "RequestStats",
     "PlanResponse",
     "ServiceStats",
+    "SessionStatus",
+    "PlanSession",
     "PlanService",
 ]
 
@@ -115,6 +117,12 @@ class ServiceStats:
     parallel_searches: int = 0
     """Searches whose chains ran on worker processes (vs in the request
     thread); bounded by what the shared core-budget governor granted."""
+    sessions_started: int = 0
+    """Online (pollable) search sessions opened via :meth:`start_session`."""
+    session_polls: int = 0
+    """Slices consumed across all online sessions."""
+    cache_refreshes: int = 0
+    """Cached entries replaced because an online session beat their cost."""
     search_seconds: float = 0.0
 
     @property
@@ -151,6 +159,148 @@ class ServiceStats:
         data: Dict[str, float] = dataclasses.asdict(self)
         data["hit_rate"] = self.hit_rate
         return data
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """Progress report of one :meth:`PlanSession.poll`."""
+
+    session_id: str
+    fingerprint: str
+    best_cost: float
+    initial_cost: float
+    n_iterations: int
+    n_polls: int
+    done: bool
+    improved: bool
+    """Whether this poll lowered the session's best cost."""
+    cache_refreshed: bool
+    """Whether this poll's improvement replaced the cached entry."""
+    search_seconds: float
+    """Compute seconds consumed so far (summed over chains, not session age)."""
+
+
+class PlanSession:
+    """A registered online search session of a :class:`PlanService`.
+
+    Wraps a :class:`~repro.core.search.SearchSession` with the service's
+    bookkeeping: every improving poll writes the session's current best back
+    to the plan cache (see :meth:`PlanCache.refresh`), polls and refreshes
+    are counted in :class:`ServiceStats`, and :meth:`stop` settles the
+    session into an ordinary :class:`PlanResponse`.  Obtain instances via
+    :meth:`PlanService.start_session`; thread-safe.
+    """
+
+    def __init__(
+        self,
+        service: "PlanService",
+        session_id: str,
+        request: PlanRequest,
+        fingerprint: WorkloadFingerprint,
+        session: SearchSession,
+        estimator: RuntimeEstimator,
+        warm_started: bool = False,
+    ) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.request = request
+        self.fingerprint = fingerprint
+        self.session = session
+        self.estimator = estimator
+        self.warm_started = warm_started
+        self._lock = threading.Lock()
+        self._closed = False
+        self._final: Optional[PlanResponse] = None
+
+    # ------------------------------------------------------------------ #
+    # Progress
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """Whether every chain exhausted its budgets (polls become no-ops)."""
+        return self.session.done
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def best_so_far(self) -> "Tuple[Optional[ExecutionPlan], float]":
+        """Current merged best (plan, cost) — readable at any time."""
+        return self.session.best_so_far()
+
+    def status(self) -> SessionStatus:
+        """Current progress without consuming any budget."""
+        with self._lock:
+            return self._status(improved=False, cache_refreshed=False)
+
+    def _status(self, improved: bool, cache_refreshed: bool) -> SessionStatus:
+        session = self.session
+        return SessionStatus(
+            session_id=self.session_id,
+            fingerprint=self.fingerprint.key,
+            best_cost=session.best_cost,
+            initial_cost=session.initial_cost,
+            n_iterations=session.n_iterations,
+            n_polls=session.n_polls,
+            done=session.done,
+            improved=improved,
+            cache_refreshed=cache_refreshed,
+            search_seconds=sum(s.wall_seconds for s in session.states),
+        )
+
+    def poll(
+        self,
+        max_iterations: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SessionStatus:
+        """Advance the session by one slice; write improvements to the cache."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"session {self.session_id} has been stopped")
+            progress = self.session.poll(max_iterations, time_budget_s)
+            refreshed = False
+            if progress.improved:
+                refreshed = self.service._session_write_back(self)
+            service = self.service
+            with service._lock:
+                service.stats.session_polls += 1
+            service._m_session_polls.inc()
+            return self._status(improved=progress.improved, cache_refreshed=refreshed)
+
+    def stop(self) -> PlanResponse:
+        """Finish the session: final cache write-back and a settled response.
+
+        Idempotent — repeated stops return the same response.  The response's
+        ``search_seconds`` bill the compute actually consumed by the slices,
+        not the session's wall-clock age (sessions idle between polls).
+        """
+        with self._lock:
+            if self._final is not None:
+                return self._final
+            result = self.session.stop()
+            self.service._session_write_back(self)
+            peak = self.estimator.max_memory(result.best_plan).max_bytes
+            search_seconds = sum(result.chain_wall_seconds)
+            service = self.service
+            with service._lock:
+                service.stats.search_seconds += search_seconds
+            stats = RequestStats(
+                fingerprint=self.fingerprint.key,
+                cache_hit=False,
+                warm_started=self.warm_started,
+                search_seconds=search_seconds,
+                total_seconds=result.elapsed_seconds,
+            )
+            self._final = PlanResponse(
+                plan=result.best_plan,
+                cost=result.best_cost,
+                result=result,
+                stats=stats,
+                peak_memory_bytes=peak,
+                feasible=service._fits_memory(peak, self.request.cluster),
+            )
+            self._closed = True
+            return self._final
 
 
 class PlanService:
@@ -218,6 +368,8 @@ class PlanService:
             max_workers=max_workers, thread_name_prefix="plan-service"
         )
         self._inflight: Dict[str, "Future[PlanResponse]"] = {}
+        self._sessions: Dict[str, PlanSession] = {}
+        self._session_counter = 0
         self._estimators: "OrderedDict[str, RuntimeEstimator]" = OrderedDict()
         self._estimator_cache_size = estimator_cache_size
         self._lock = threading.RLock()
@@ -239,6 +391,16 @@ class PlanService:
         )
         self._m_search_seconds = self.registry.counter(
             "service_search_seconds_total", "Wall-clock seconds spent in plan search"
+        )
+        self._m_sessions = self.registry.counter(
+            "service_sessions_total", "Online search sessions started"
+        )
+        self._m_session_polls = self.registry.counter(
+            "service_session_polls_total", "Online search session slices consumed"
+        )
+        self._m_cache_refreshes = self.registry.counter(
+            "service_cache_refreshes_total",
+            "Cache entries replaced by improved online-session plans",
         )
         self._collector = self.registry.register_collector(self._collect_gauges)
 
@@ -294,6 +456,120 @@ class PlanService:
         """Submit a batch of requests and gather the responses in order."""
         futures = [self.submit(request) for request in requests]
         return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Online sessions
+    # ------------------------------------------------------------------ #
+    def start_session(
+        self,
+        request: PlanRequest,
+        slice_iterations: Optional[int] = None,
+        slice_time_s: Optional[float] = None,
+        max_workers: Optional[int] = None,
+    ) -> PlanSession:
+        """Open a resumable background search for ``request``.
+
+        Unlike :meth:`submit`, nothing blocks: the returned
+        :class:`PlanSession` consumes its budgets one :meth:`PlanSession.poll`
+        at a time, its :meth:`~PlanSession.best_so_far` is readable between
+        polls, and every improving poll refreshes the plan cache for the
+        session's fingerprint.  The session is seeded exactly like a blocking
+        request — from the exact cached entry (if any) plus the family
+        warm-start — so polling starts from the best plan the service already
+        knows.  ``max_workers`` caps the cores a multi-chain session may
+        borrow from the shared governor per poll (the background core share).
+        """
+        if self._closed:
+            raise RuntimeError("PlanService has been shut down")
+        fingerprint = request.fingerprint()
+        options = allocation_options(
+            request.graph, request.workload, request.cluster, request.prune
+        )
+        seed_plans: List[ExecutionPlan] = []
+        warm_started = False
+        exact = self.cache.peek(fingerprint.key)
+        if exact is not None:
+            seed_plans.append(exact.plan(request.cluster))
+        if self.warm_start:
+            entry = select_warm_start(self.cache, fingerprint)
+            if entry is not None:
+                warm_plan = adapt_plan(entry, request.graph, request.cluster, options)
+                if warm_plan is not None:
+                    seed_plans.append(warm_plan)
+                    warm_started = True
+        estimator = self._estimator_for(request, fingerprint)
+        searcher = MCMCSearcher(
+            graph=request.graph,
+            workload=request.workload,
+            cluster=request.cluster,
+            estimator=estimator,
+            options=options,
+            prune=request.prune,
+            config=request.search,
+            seed_plans=seed_plans,
+            core_budget=self.core_budget,
+        )
+        session = SearchSession(
+            searcher,
+            slice_iterations=slice_iterations,
+            slice_time_s=slice_time_s,
+            max_workers=max_workers,
+        ).start()
+        with self._lock:
+            self._session_counter += 1
+            session_id = f"session-{self._session_counter}"
+            handle = PlanSession(
+                service=self,
+                session_id=session_id,
+                request=request,
+                fingerprint=fingerprint,
+                session=session,
+                estimator=estimator,
+                warm_started=warm_started,
+            )
+            self._sessions[session_id] = handle
+            self.stats.sessions_started += 1
+        self._m_sessions.inc()
+        self._log.debug(
+            "opened online session %s", session_id,
+            extra={"fingerprint": fingerprint.key, "session_id": session_id},
+        )
+        return handle
+
+    def get_session(self, session_id: str) -> PlanSession:
+        """Look up a live session by id (:class:`KeyError` when unknown)."""
+        with self._lock:
+            return self._sessions[session_id]
+
+    def poll_session(self, session_id: str) -> SessionStatus:
+        """Advance a registered session by one slice."""
+        return self.get_session(session_id).poll()
+
+    def stop_session(self, session_id: str) -> PlanResponse:
+        """Stop and unregister a session; returns its settled response."""
+        with self._lock:
+            handle = self._sessions.pop(session_id)
+        return handle.stop()
+
+    @property
+    def active_sessions(self) -> List[str]:
+        """Ids of the currently registered online sessions."""
+        with self._lock:
+            return list(self._sessions)
+
+    def _session_write_back(self, handle: PlanSession) -> bool:
+        """Refresh the cache when a session's current best beats the entry."""
+        result = handle.session.result()
+        peak = handle.estimator.max_memory(result.best_plan).max_bytes
+        entry = PlanCacheEntry.from_search_result(
+            handle.fingerprint, result, handle.request.cluster, peak
+        )
+        if not self.cache.refresh(entry):
+            return False
+        with self._lock:
+            self.stats.cache_refreshes += 1
+        self._m_cache_refreshes.inc()
+        return True
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -519,8 +795,17 @@ class PlanService:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting requests and optionally wait for in-flight searches."""
+        """Stop accepting requests and optionally wait for in-flight searches.
+
+        Open online sessions are stopped (releasing their worker pools) and
+        settled with a final cache write-back before the request pool drains.
+        """
         self._closed = True
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for handle in sessions:
+            handle.stop()
         self._pool.shutdown(wait=wait)
 
     def close(self, wait: bool = True) -> None:

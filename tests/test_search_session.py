@@ -1,0 +1,233 @@
+"""Tests for resumable search sessions (online re-planning's core primitive).
+
+The headline invariant: a :class:`SearchSession` polled in N slices reaches
+*exactly* the same best plan/cost — and the same per-chain trajectories — as
+one uninterrupted ``search()`` with the same seed and total budget, for PPO
+and GRPO, in sequential and process execution modes.  Each chain's RNG
+travels inside its checkpointed :class:`ChainState`, so slicing can never
+change the outcome.  Also covered here: the new :class:`SearchConfig`
+budget validation and the session lifecycle (budgets, done, stop).
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms import build_grpo_graph, build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import (
+    ChainState,
+    MCMCSearcher,
+    SearchConfig,
+    SearchSession,
+    instructgpt_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster8():
+    return make_cluster(8)
+
+
+@pytest.fixture(scope="module")
+def workload_small():
+    return instructgpt_workload("7b", "7b", batch_size=64)
+
+
+def _graph(algorithm: str):
+    return build_ppo_graph() if algorithm == "ppo" else build_grpo_graph()
+
+
+def _searcher(algorithm, workload, cluster, **cfg_kwargs):
+    config = SearchConfig(**cfg_kwargs)
+    return MCMCSearcher(_graph(algorithm), workload, cluster, config=config)
+
+
+def _assert_identical(session_result, reference):
+    assert session_result.best_cost == reference.best_cost
+    assert session_result.best_plan.to_dict() == reference.best_plan.to_dict()
+    assert session_result.n_iterations == reference.n_iterations
+    assert session_result.n_accepted == reference.n_accepted
+    assert [(i, c) for i, _, c in session_result.history] == [
+        (i, c) for i, _, c in reference.history
+    ]
+
+
+class TestSlicedDeterminism:
+    @pytest.mark.parametrize("algorithm", ["ppo", "grpo"])
+    @pytest.mark.parametrize("slice_iterations", [1, 7, 25])
+    def test_sliced_equals_unsliced_sequential(
+        self, algorithm, slice_iterations, cluster8, workload_small
+    ):
+        kwargs = dict(
+            max_iterations=50, time_budget_s=60.0, seed=3, n_chains=2, parallel="off"
+        )
+        reference = _searcher(algorithm, workload_small, cluster8, **kwargs).search()
+        session = SearchSession(
+            _searcher(algorithm, workload_small, cluster8, **kwargs),
+            slice_iterations=slice_iterations,
+        )
+        while not session.done:
+            session.poll()
+        _assert_identical(session.stop(), reference)
+
+    @pytest.mark.parametrize("algorithm", ["ppo", "grpo"])
+    def test_sliced_process_equals_unsliced_sequential(
+        self, algorithm, cluster8, workload_small
+    ):
+        kwargs = dict(max_iterations=40, time_budget_s=60.0, seed=5, n_chains=2)
+        reference = _searcher(
+            algorithm, workload_small, cluster8, parallel="off", **kwargs
+        ).search()
+        session = SearchSession(
+            _searcher(algorithm, workload_small, cluster8, parallel="process", **kwargs),
+            slice_iterations=9,
+        )
+        session.start()
+        if session._runner is None:
+            pytest.skip("process pool unavailable on this machine")
+        modes = set()
+        while not session.done:
+            modes.add(session.poll().execution_mode)
+        result = session.stop()
+        _assert_identical(result, reference)
+        assert "process" in modes
+        assert result.execution_mode == "process"
+
+    def test_mixed_execution_modes_still_identical(self, cluster8, workload_small):
+        """A session that loses its pool mid-run must not change the outcome."""
+        kwargs = dict(max_iterations=30, time_budget_s=60.0, seed=9, n_chains=2)
+        reference = _searcher(
+            "ppo", workload_small, cluster8, parallel="off", **kwargs
+        ).search()
+        session = SearchSession(
+            _searcher("ppo", workload_small, cluster8, parallel="process", **kwargs),
+            slice_iterations=8,
+        )
+        session.start()
+        if session._runner is None:
+            pytest.skip("process pool unavailable on this machine")
+        session.poll()
+        # Simulate the pool dying between polls: later slices run in-process.
+        session._runner.close_session()
+        session._runner = None
+        while not session.done:
+            assert session.poll().execution_mode in ("sequential", "idle")
+        _assert_identical(session.stop(), reference)
+
+
+class TestSessionLifecycle:
+    def test_budget_accounting_and_done(self, cluster8, workload_small):
+        searcher = _searcher(
+            "ppo", workload_small, cluster8,
+            max_iterations=20, time_budget_s=60.0, seed=1, n_chains=2, parallel="off",
+        )
+        session = SearchSession(searcher, slice_iterations=6)
+        session.start()
+        assert not session.done and session.n_iterations == 0
+        progress = session.poll()
+        # Two chains, six proposals each per slice.
+        assert progress.new_iterations == 12
+        assert progress.n_iterations == 12
+        while not session.done:
+            progress = session.poll()
+        assert session.n_iterations == 20  # total budget, never exceeded
+        assert progress.done
+        # Polling a finished session is a harmless no-op.
+        idle = session.poll()
+        assert idle.new_iterations == 0 and idle.execution_mode == "idle"
+
+    def test_best_monotone_and_initial_candidate(self, cluster8, workload_small):
+        searcher = _searcher(
+            "ppo", workload_small, cluster8,
+            max_iterations=40, time_budget_s=60.0, seed=2, n_chains=1, parallel="off",
+        )
+        session = SearchSession(searcher, slice_iterations=5)
+        session.start()
+        plan, cost = session.best_so_far()
+        assert plan is not None and cost == session.initial_cost
+        previous = cost
+        while not session.done:
+            progress = session.poll()
+            assert progress.best_cost <= previous
+            assert progress.improved == (progress.best_cost < previous)
+            previous = progress.best_cost
+
+    def test_stop_is_final_and_result_matches(self, cluster8, workload_small):
+        searcher = _searcher(
+            "ppo", workload_small, cluster8,
+            max_iterations=10, time_budget_s=60.0, seed=4, n_chains=1, parallel="off",
+        )
+        session = SearchSession(searcher, slice_iterations=4)
+        session.poll()  # poll() auto-starts
+        result = session.stop()
+        assert session.stopped
+        assert result.best_cost == session.best_cost
+        with pytest.raises(RuntimeError):
+            session.poll()
+
+    def test_slice_iterations_validated(self, cluster8, workload_small):
+        searcher = _searcher(
+            "ppo", workload_small, cluster8,
+            max_iterations=10, time_budget_s=60.0, seed=0, n_chains=1,
+        )
+        with pytest.raises(ValueError, match="slice_iterations"):
+            SearchSession(searcher, slice_iterations=0)
+
+    def test_chain_state_pickles(self, cluster8, workload_small):
+        searcher = _searcher(
+            "ppo", workload_small, cluster8,
+            max_iterations=10, time_budget_s=60.0, seed=6, n_chains=1, parallel="off",
+        )
+        plan, cost = searcher.initial_candidate()
+        state = searcher.init_chain_state(0, plan, cost, 10)
+        searcher.advance_chain(state, max_iterations=4)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.n_iterations == state.n_iterations == 4
+        assert clone.best_cost == state.best_cost
+        # The cloned RNG continues the exact same stream.
+        searcher.advance_chain(state)
+        searcher.advance_chain(clone)
+        assert clone.best_cost == state.best_cost
+        assert clone.done and state.done
+
+
+class TestSearchConfigValidation:
+    def test_negative_max_iterations_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            SearchConfig(max_iterations=-1)
+
+    def test_zero_max_iterations_still_legal(self):
+        # The documented "evaluate the initial candidates only" budget.
+        assert SearchConfig(max_iterations=0).max_iterations == 0
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_time_budget_rejected(self, budget):
+        with pytest.raises(ValueError, match="time_budget_s"):
+            SearchConfig(time_budget_s=budget)
+
+    @pytest.mark.parametrize("n_chains", [0, -2])
+    def test_non_positive_n_chains_rejected(self, n_chains):
+        with pytest.raises(ValueError, match="n_chains"):
+            SearchConfig(n_chains=n_chains)
+
+
+class TestChainStateBasics:
+    def test_remaining_iterations_never_negative(self):
+        import numpy as np
+
+        from repro.core.plan import ExecutionPlan
+
+        state = ChainState(
+            chain=0,
+            max_iterations=5,
+            rng=np.random.default_rng(0),
+            current_plan=ExecutionPlan({}),
+            current_cost=1.0,
+            best_plan=ExecutionPlan({}),
+            best_cost=1.0,
+            n_iterations=9,
+        )
+        assert state.remaining_iterations == 0
+        result = state.to_result()
+        assert result.n_iterations == 9 and result.best_cost == 1.0

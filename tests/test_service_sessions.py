@@ -1,0 +1,165 @@
+"""Tests for online plan sessions on the service and the cache staleness hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import build_ppo_graph
+from repro.cluster import make_cluster
+from repro.core import SearchConfig, instructgpt_workload
+from repro.service import PlanCache, PlanCacheEntry, PlanRequest, PlanService
+
+
+def _request(batch_size=128, n_gpus=8, max_iterations=40, seed=0):
+    return PlanRequest(
+        graph=build_ppo_graph(),
+        workload=instructgpt_workload("7b", "7b", batch_size=batch_size),
+        cluster=make_cluster(n_gpus),
+        search=SearchConfig(
+            max_iterations=max_iterations,
+            time_budget_s=30.0,
+            seed=seed,
+            record_history=False,
+        ),
+    )
+
+
+@pytest.fixture()
+def service():
+    svc = PlanService(max_workers=2)
+    yield svc
+    svc.shutdown()
+
+
+class TestSessionLifecycle:
+    def test_start_poll_stop_roundtrip(self, service):
+        request = _request()
+        handle = service.start_session(request, slice_iterations=10)
+        assert service.active_sessions == [handle.session_id]
+        assert service.stats.sessions_started == 1
+
+        status = handle.poll()
+        assert status.n_iterations == 10
+        assert status.session_id == handle.session_id
+        assert service.stats.session_polls == 1
+
+        while not handle.done:
+            handle.poll()
+        response = service.stop_session(handle.session_id)
+        assert service.active_sessions == []
+        assert response.cost == handle.session.best_cost
+        assert response.plan.assignments == handle.best_so_far()[0].assignments
+        assert response.stats.fingerprint == request.fingerprint().key
+        assert response.result.n_iterations == 40
+
+    def test_session_matches_blocking_search(self, service):
+        """A drained session serves exactly what submit() would have."""
+        request = _request(seed=7)
+        handle = service.start_session(request, slice_iterations=13)
+        while not handle.done:
+            handle.poll()
+        session_response = service.stop_session(handle.session_id)
+
+        with PlanService(max_workers=2) as fresh:
+            blocking = fresh.plan(request)
+        assert session_response.cost == blocking.cost
+        assert session_response.plan.to_dict() == blocking.plan.to_dict()
+
+    def test_poll_session_and_get_session(self, service):
+        handle = service.start_session(_request(), slice_iterations=5)
+        assert service.get_session(handle.session_id) is handle
+        status = service.poll_session(handle.session_id)
+        assert status.n_iterations == 5
+        service.stop_session(handle.session_id)
+        with pytest.raises(KeyError):
+            service.get_session(handle.session_id)
+
+    def test_stop_is_idempotent(self, service):
+        handle = service.start_session(_request(), slice_iterations=5)
+        first = handle.stop()
+        assert handle.stop() is first
+        with pytest.raises(RuntimeError):
+            handle.poll()
+
+    def test_shutdown_settles_open_sessions(self):
+        service = PlanService(max_workers=2)
+        handle = service.start_session(_request(), slice_iterations=5)
+        handle.poll()
+        service.shutdown()
+        assert handle.closed
+        assert service.active_sessions == []
+        with pytest.raises(RuntimeError):
+            service.start_session(_request())
+
+    def test_session_seeded_from_cached_entry(self, service):
+        """A session never starts worse than the cache already knows."""
+        request = _request(seed=11, max_iterations=300)
+        cached = service.plan(request)
+        handle = service.start_session(request, slice_iterations=10)
+        _, cost = handle.best_so_far()
+        assert cost <= cached.cost
+        service.stop_session(handle.session_id)
+
+
+class TestCacheRefresh:
+    def _entry(self, key="k", best_cost=1.0):
+        return PlanCacheEntry(
+            key=key,
+            family="f",
+            features={},
+            cluster_shape=(1, 8),
+            plan_data={"assignments": {}, "cluster_shape": [1, 8]},
+            best_cost=best_cost,
+            initial_cost=2.0,
+        )
+
+    def test_refresh_inserts_missing_key(self):
+        cache = PlanCache()
+        assert cache.refresh(self._entry(best_cost=1.0))
+        assert cache.peek("k").best_cost == 1.0
+
+    def test_refresh_only_replaces_worse_entries(self):
+        cache = PlanCache()
+        cache.put(self._entry(best_cost=1.0))
+        assert not cache.refresh(self._entry(best_cost=1.0))  # ties keep old
+        assert not cache.refresh(self._entry(best_cost=1.5))
+        assert cache.peek("k").best_cost == 1.0
+        assert cache.refresh(self._entry(best_cost=0.5))
+        assert cache.peek("k").best_cost == 0.5
+
+    def test_refresh_persists(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = PlanCache(persist_path=str(path))
+        cache.refresh(self._entry(best_cost=0.75))
+        reloaded = PlanCache(persist_path=str(path))
+        assert reloaded.peek("k").best_cost == 0.75
+
+    def test_improving_session_refreshes_worse_cached_entry(self, service):
+        """The staleness hook: a pre-seeded worse entry gets replaced."""
+        request = _request(seed=3, max_iterations=60)
+        fingerprint = request.fingerprint()
+        # Pre-populate the exact key with an absurdly bad cached plan (the
+        # greedy initial re-costed with an inflated best_cost).
+        probe = service.start_session(request, slice_iterations=1)
+        plan, cost = probe.best_so_far()
+        probe.stop()
+        service.cache.put(
+            PlanCacheEntry(
+                key=fingerprint.key,
+                family=fingerprint.family,
+                features=dict(fingerprint.features),
+                cluster_shape=(request.cluster.n_nodes, request.cluster.gpus_per_node),
+                plan_data=plan.to_dict(),
+                best_cost=cost * 100.0,
+                initial_cost=cost * 100.0,
+            )
+        )
+        before = service.stats.cache_refreshes
+        handle = service.start_session(request, slice_iterations=20)
+        while not handle.done:
+            handle.poll()
+        response = service.stop_session(handle.session_id)
+        assert service.stats.cache_refreshes > before
+        entry = service.cache.peek(fingerprint.key)
+        assert entry.best_cost == response.cost
+        assert entry.best_cost < cost * 100.0
