@@ -40,12 +40,19 @@ from typing import Dict, Optional
 from repro.core import SearchConfig
 from repro.cluster import make_cluster
 from repro.experiments import format_table
+from repro.obs import artifact_path
 from repro.sched import ClusterScheduler, JobSpec, SchedulerConfig
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_online_replanning.json"
-SMOKE_OUTPUT = _REPO_ROOT / "BENCH_online_replanning.smoke.json"
-ONLINE_TRACE = _REPO_ROOT / "TRACE_online_replanning.json"
+DEFAULT_OUTPUT = "BENCH_online_replanning.json"
+SMOKE_OUTPUT = "BENCH_online_replanning.smoke.json"
+ONLINE_TRACE = "TRACE_online_replanning.json"
+
+
+def _artifact(name: str) -> Path:
+    """Artifact location: ``REPRO_ARTIFACT_DIR`` wins, else the repo root
+    (the historical destination the committed baselines live at)."""
+    return artifact_path(name, default_dir=_REPO_ROOT)
 
 
 def _trace(smoke: bool):
@@ -119,7 +126,7 @@ def _metric(value: float, higher_is_better: bool) -> Dict[str, object]:
 
 def run_benchmark(smoke: bool = False) -> Dict[str, object]:
     baseline = _run_arm(online=False, smoke=smoke, trace_path=None)
-    online = _run_arm(online=True, smoke=smoke, trace_path=str(ONLINE_TRACE))
+    online = _run_arm(online=True, smoke=smoke, trace_path=str(_artifact(ONLINE_TRACE)))
     speedup = online["agg_iters_per_sec"] / baseline["agg_iters_per_sec"]
     return {
         "benchmark": "online_replanning",
@@ -161,7 +168,7 @@ def _check(report: Dict[str, object]) -> None:
     assert details["online_swap_seconds_saved"] > 0
     assert details["baseline_n_swaps"] == 0
     # The exported merged trace carries the swap instants.
-    events = json.loads(ONLINE_TRACE.read_text())["traceEvents"]
+    events = json.loads(_artifact(ONLINE_TRACE).read_text())["traceEvents"]
     swap_instants = [
         e for e in events if e.get("ph") == "i" and e.get("cat") == "swap"
     ]
@@ -189,11 +196,12 @@ def _print(report: Dict[str, object]) -> None:
         f"speedup {speedup:.3f}x, ~{details['online_swap_seconds_saved']:.0f} s saved "
         f"by {int(details['online_n_swaps'])} swaps "
         f"({int(details['online_n_swaps_rejected'])} rejected), "
-        f"trace: {ONLINE_TRACE.name}"
+        f"trace: {ONLINE_TRACE}"
     )
 
 
 def write_report(report: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 
@@ -226,7 +234,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
-        output = SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT
+        output = _artifact(SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT)
     report = run_benchmark(smoke=args.smoke)
     _print(report)
     _check(report)

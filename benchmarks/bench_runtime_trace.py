@@ -36,16 +36,23 @@ from repro.algorithms import build_ppo_graph
 from repro.cluster import make_cluster
 from repro.core import ParallelStrategy, SearchConfig, instructgpt_workload, symmetric_plan
 from repro.experiments import format_table
+from repro.obs import artifact_path
 from repro.runtime import RuntimeEngine
 from repro.sched import JobSpec, SchedulerConfig, schedule_trace
 from repro.service import PlanService
 from repro.sim import load_chrome_trace
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_runtime_trace.json"
-SMOKE_OUTPUT = _REPO_ROOT / "BENCH_runtime_trace.smoke.json"
-ITERATION_TRACE = _REPO_ROOT / "TRACE_runtime_iteration.json"
-SCHEDULE_TRACE = _REPO_ROOT / "TRACE_schedule.json"
+DEFAULT_OUTPUT = "BENCH_runtime_trace.json"
+SMOKE_OUTPUT = "BENCH_runtime_trace.smoke.json"
+ITERATION_TRACE = "TRACE_runtime_iteration.json"
+SCHEDULE_TRACE = "TRACE_schedule.json"
+
+
+def _artifact(name: str) -> Path:
+    """Artifact location: ``REPRO_ARTIFACT_DIR`` wins, else the repo root
+    (the historical destination the committed baselines live at)."""
+    return artifact_path(name, default_dir=_REPO_ROOT)
 
 
 def figure11_setup(smoke: bool):
@@ -78,7 +85,7 @@ def _engine_throughput(smoke: bool) -> Dict[str, float]:
     n_spans = sum(len(spans) for spans in trace.gpu_spans.values())
 
     export_started = time.perf_counter()
-    path = trace.export_chrome_trace(str(ITERATION_TRACE))
+    path = trace.export_chrome_trace(str(_artifact(ITERATION_TRACE)))
     export_s = time.perf_counter() - export_started
     events = load_chrome_trace(path)
 
@@ -126,7 +133,7 @@ def _schedule_events_rate(smoke: bool) -> Dict[str, float]:
             policy="first_fit",
             config=config,
             service=service,
-            trace_path=str(SCHEDULE_TRACE),
+            trace_path=str(_artifact(SCHEDULE_TRACE)),
         )
         warm_s = time.perf_counter() - started
     events = load_chrome_trace(report.trace_path)
@@ -194,10 +201,11 @@ def _print(report: Dict[str, object]) -> None:
     ]
     print()
     print(format_table(rows, title=f"Runtime trace throughput ({report['mode']})"))
-    print(f"iteration trace: {ITERATION_TRACE.name}, schedule trace: {SCHEDULE_TRACE.name}")
+    print(f"iteration trace: {ITERATION_TRACE}, schedule trace: {SCHEDULE_TRACE}")
 
 
 def write_report(report: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 
@@ -230,7 +238,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
-        output = SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT
+        output = _artifact(SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT)
     report = run_benchmark(smoke=args.smoke)
     _print(report)
     _check(report)

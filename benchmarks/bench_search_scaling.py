@@ -52,10 +52,17 @@ from repro.core import (
     allocation_options,
 )
 from repro.experiments import format_table
+from repro.obs import artifact_path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_search_scaling.json"
-SMOKE_OUTPUT = _REPO_ROOT / "BENCH_search_scaling.smoke.json"
+DEFAULT_OUTPUT = "BENCH_search_scaling.json"
+SMOKE_OUTPUT = "BENCH_search_scaling.smoke.json"
+
+
+def _artifact(name: str) -> Path:
+    """Artifact location: ``REPRO_ARTIFACT_DIR`` wins, else the repo root
+    (the historical destination the committed baselines live at)."""
+    return artifact_path(name, default_dir=_REPO_ROOT)
 
 N_CHAINS = 4
 FULL_SPEEDUP_TARGET = 3.0
@@ -334,6 +341,7 @@ def _print(report: Dict[str, object]) -> None:
 
 
 def write_report(report: Dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 
@@ -366,7 +374,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
-        output = SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT
+        output = _artifact(SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT)
     report = run_benchmark(smoke=args.smoke)
     _print(report)
     # Check before writing: a failed full run must not overwrite the

@@ -27,10 +27,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List
+
+
+def _resolve(path: Path) -> Path:
+    """Relative report paths resolve against ``REPRO_ARTIFACT_DIR`` when set.
+
+    Mirrors :func:`repro.obs.artifact_path` without importing the package —
+    the checker stays runnable standalone, against any report file.
+    """
+    if path.is_absolute():
+        return path
+    base = os.environ.get("REPRO_ARTIFACT_DIR", "").strip()
+    return Path(base) / path if base else path
 
 
 def load_report(path: Path) -> Dict[str, object]:
@@ -133,6 +146,8 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on regressions (default: warn only)")
     args = parser.parse_args(argv)
+    args.baseline = _resolve(args.baseline)
+    args.current = _resolve(args.current)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; nothing to compare (first run?)")

@@ -63,6 +63,7 @@ import numpy as np
 from ..cluster.hardware import ClusterSpec
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
+from ..obs.tracing import SpanContext, SpanRecord, current_span
 from .dataflow import DataflowGraph
 from .plan import Allocation, ExecutionPlan
 from .workload import RLHFWorkload
@@ -216,6 +217,10 @@ class ChainResult:
     history: List[Tuple[int, float, float]] = field(default_factory=list)
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    spans: List[SpanRecord] = field(default_factory=list)
+    """Per-slice trace spans recorded while the chain ran (empty when
+    tracing is off).  Workers record locally and ship them back here; the
+    parent folds them into its tracer."""
 
 
 @dataclass
@@ -246,11 +251,27 @@ class ChainState:
     cpu_seconds: float = 0.0
     done: bool = False
     """Set once the iteration or wall-clock budget is exhausted."""
+    span_context: Optional[SpanContext] = None
+    """Trace parent of this chain's slice spans.  Set at initialisation from
+    the enclosing search span and refreshed per poll by the session, it is
+    the explicit cross-process propagation channel: the context pickles with
+    the state, so a slice advanced in a worker process still records spans
+    under the right parent."""
+    slice_spans: List[SpanRecord] = field(default_factory=list)
+    """Spans recorded by advances since the consumer last drained them.
+    Self-contained like the RNG: the list travels with the state through
+    worker pickles, and the parent empties it after folding the spans into
+    its tracer (so repeated round-trips never re-ship old spans)."""
 
     @property
     def remaining_iterations(self) -> int:
         """Proposals left in the chain's total budget."""
         return max(0, self.max_iterations - self.n_iterations)
+
+    def drain_spans(self) -> List[SpanRecord]:
+        """Hand over (and forget) the spans recorded since the last drain."""
+        spans, self.slice_spans = self.slice_spans, []
+        return spans
 
     def to_result(self) -> ChainResult:
         """The chain's outcome so far, in the merged-result format."""
@@ -263,6 +284,7 @@ class ChainState:
             history=list(self.history),
             wall_seconds=self.wall_seconds,
             cpu_seconds=self.cpu_seconds,
+            spans=self.drain_spans(),
         )
 
 
@@ -295,6 +317,10 @@ class ChainProblem:
     use_cuda_graph: bool = True
     use_cache: bool = True
     cross_check: bool = False
+    span_context: Optional[SpanContext] = None
+    """Trace context of the parent's search span.  Contextvars do not cross
+    process boundaries, so the context rides in the problem; the rebuilt
+    worker searcher adopts it as the parent of every chain span it starts."""
 
     def build_searcher(self) -> "MCMCSearcher":
         """Re-create the searcher inside a worker process.
@@ -320,7 +346,7 @@ class ChainProblem:
             use_cache=self.use_cache,
             cross_check=self.cross_check,
         )
-        return module.MCMCSearcher(
+        searcher = module.MCMCSearcher(
             graph=self.graph,
             workload=self.workload,
             cluster=self.cluster,
@@ -328,6 +354,8 @@ class ChainProblem:
             options=self.options,
             config=self.config,
         )
+        searcher.span_parent = self.span_context
+        return searcher
 
     def start_plan(self) -> ExecutionPlan:
         return ExecutionPlan(dict(self.start_assignments), name=self.start_plan_name)
@@ -459,6 +487,7 @@ class ParallelSearchRunner:
             use_cuda_graph=getattr(estimator, "use_cuda_graph", True),
             use_cache=getattr(estimator, "use_cache", True),
             cross_check=getattr(estimator, "cross_check", False),
+            span_context=current_span(),
         )
         # A chain self-terminates at its wall-clock deadline, so any result
         # later than budget + margin means the worker is wedged, not slow.
@@ -549,6 +578,7 @@ class ParallelSearchRunner:
             use_cuda_graph=getattr(estimator, "use_cuda_graph", True),
             use_cache=getattr(estimator, "use_cache", True),
             cross_check=getattr(estimator, "cross_check", False),
+            span_context=current_span(),
         )
         try:
             self._session_pool = ProcessPoolExecutor(

@@ -36,6 +36,7 @@ import numpy as np
 from ..cluster.hardware import ClusterSpec
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
+from ..obs.tracing import SpanContext, SpanRecord, current_span, get_tracer
 from .dataflow import DataflowGraph
 from .estimator import DEFAULT_OOM_PENALTY, RuntimeEstimator
 from .parallel_search import (
@@ -199,6 +200,10 @@ class MCMCSearcher:
             raise ValueError(f"no allocation options for calls: {sorted(missing)}")
         self.seed_plans = list(seed_plans or [])
         self.core_budget = core_budget if core_budget is not None else GLOBAL_CORE_BUDGET
+        self.span_parent: Optional[SpanContext] = None
+        """Fallback trace parent for chain spans when no contextvar context
+        is active — set by :meth:`ChainProblem.build_searcher` inside worker
+        processes, where the parent's contextvars do not exist."""
         # Per-call proposal indexes: options grouped by mesh, and the set of
         # (mesh, strategy) layouts available, so proposing a move never scans
         # the full option list comparing dataclasses.
@@ -325,6 +330,7 @@ class MCMCSearcher:
             current_cost=start_cost,
             best_plan=start_plan,
             best_cost=start_cost,
+            span_context=current_span() or self.span_parent,
         )
 
     def advance_chain(
@@ -358,6 +364,12 @@ class MCMCSearcher:
             if time_budget_s is None
             else min(float(time_budget_s), remaining_time)
         )
+        # Chain slices are the unit of tracing: one span per advance (never
+        # per proposal).  The gate is the shipped context itself — with
+        # REPRO_TRACING=off no span is ever opened, so no context exists and
+        # the hot loop pays exactly one ``is not None`` check.
+        span_parent = state.span_context
+        span_start_s = time.time() if span_parent is not None else 0.0
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
         deadline = wall_start + slice_time
@@ -405,6 +417,23 @@ class MCMCSearcher:
             or state.wall_seconds >= cfg.time_budget_s
         ):
             state.done = True
+        if span_parent is not None:
+            state.slice_spans.append(
+                SpanRecord(
+                    name=f"chain {state.chain}",
+                    category="search",
+                    start_s=span_start_s,
+                    end_s=time.time(),
+                    context=span_parent.child(),
+                    args={
+                        "chain": state.chain,
+                        "iterations": iteration,
+                        "accepted": n_accepted,
+                        "best_cost": best_cost,
+                        "done": state.done,
+                    },
+                )
+            )
         return state
 
     def run_chain(
@@ -474,46 +503,64 @@ class MCMCSearcher:
         in-process or on worker processes; the merged result is identical.
         """
         cfg = self.config
-        start_time = time.perf_counter()
-        start_plan, start_cost = self.initial_candidate()
-        # Report the actual chain start (greedy, seed or warm-start hint —
-        # whichever won), not unconditionally the greedy plan.
-        initial_plan, initial_cost = start_plan, start_cost
+        tracer = get_tracer()
+        with tracer.start_span(
+            "search",
+            category="search",
+            args={"n_chains": cfg.n_chains, "max_iterations": cfg.max_iterations},
+        ) as search_span:
+            start_time = time.perf_counter()
+            start_plan, start_cost = self.initial_candidate()
+            # Report the actual chain start (greedy, seed or warm-start hint —
+            # whichever won), not unconditionally the greedy plan.
+            initial_plan, initial_cost = start_plan, start_cost
 
-        n_chains = max(1, int(cfg.n_chains))
-        specs = self._chain_specs(n_chains)
+            n_chains = max(1, int(cfg.n_chains))
+            specs = self._chain_specs(n_chains)
 
-        results: Optional[List[ChainResult]] = None
-        execution_mode = "sequential"
-        n_workers = 1
-        if n_chains > 1 and cfg.parallel != "off" and self._estimator_portable():
-            force = cfg.parallel == "process"
-            if force or self._auto_parallel_worthwhile(specs):
-                runner = ParallelSearchRunner(core_budget=self.core_budget)
-                results = runner.run(self, specs, start_plan, start_cost, force=force)
-                if results is not None:
-                    execution_mode = "process"
-                    n_workers = runner.last_granted
-        if results is None:
-            # In-process fallback: account the calling thread with the
-            # governor (minimum=0: a fully-loaded machine still runs the
-            # search, just without claiming a core it does not have).
-            with self.core_budget.lease(1, minimum=0):
-                results = [
-                    self.run_chain(spec.chain, start_plan, start_cost, spec.max_iterations)
-                    for spec in specs
-                ]
+            results: Optional[List[ChainResult]] = None
+            execution_mode = "sequential"
+            n_workers = 1
+            if n_chains > 1 and cfg.parallel != "off" and self._estimator_portable():
+                force = cfg.parallel == "process"
+                if force or self._auto_parallel_worthwhile(specs):
+                    runner = ParallelSearchRunner(core_budget=self.core_budget)
+                    results = runner.run(self, specs, start_plan, start_cost, force=force)
+                    if results is not None:
+                        execution_mode = "process"
+                        n_workers = runner.last_granted
+            if results is None:
+                # In-process fallback: account the calling thread with the
+                # governor (minimum=0: a fully-loaded machine still runs the
+                # search, just without claiming a core it does not have).
+                with self.core_budget.lease(1, minimum=0):
+                    results = [
+                        self.run_chain(spec.chain, start_plan, start_cost, spec.max_iterations)
+                        for spec in specs
+                    ]
 
-        merged = self._merge_results(
-            results,
-            initial_plan=initial_plan,
-            initial_cost=initial_cost,
-            start_cost=start_cost,
-            start_time=start_time,
-            n_chains=n_chains,
-            execution_mode=execution_mode,
-            n_workers=n_workers,
-        )
+            # Chain spans rode back inside the results (recorded in-process
+            # or shipped from worker processes — same path either way).
+            for chain_result in results:
+                if chain_result.spans:
+                    tracer.extend(chain_result.spans)
+
+            merged = self._merge_results(
+                results,
+                initial_plan=initial_plan,
+                initial_cost=initial_cost,
+                start_cost=start_cost,
+                start_time=start_time,
+                n_chains=n_chains,
+                execution_mode=execution_mode,
+                n_workers=n_workers,
+            )
+            search_span.set(
+                best_cost=merged.best_cost,
+                initial_cost=merged.initial_cost,
+                iterations=merged.n_iterations,
+                execution_mode=merged.execution_mode,
+            )
         self._publish_metrics(merged)
         return merged
 
@@ -786,6 +833,13 @@ class SearchSession:
         before_best = self.best_cost
         before_iters = self.n_iterations
         active = [state for state in self.states if not state.done]
+        # Re-parent each chain under the caller's span for *this* poll, so a
+        # slice's spans land beneath the poll that ran it (states carry their
+        # context through worker-pool pickling unchanged).
+        poll_context = current_span()
+        if poll_context is not None:
+            for state in active:
+                state.span_context = poll_context
         slice_iters = (
             int(max_iterations) if max_iterations is not None else self.slice_iterations
         )
@@ -814,6 +868,10 @@ class SearchSession:
                     for state in active:
                         self.searcher.advance_chain(state, slice_iters, slice_time)
                 mode = "sequential"
+        tracer = get_tracer()
+        for state in self.states:
+            if state.slice_spans:
+                tracer.extend(state.drain_spans())
         self.n_polls += 1
         best = self.best_cost
         return SessionProgress(

@@ -9,10 +9,22 @@ The observability layer every subsystem reports through:
 * :mod:`repro.obs.log` — the ``repro.*`` structured logger hierarchy
   (``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT=text|json``);
 * :mod:`repro.obs.export` — JSON snapshots (``METRICS_*.json``), Prometheus
-  text exposition and Chrome-trace counter tracks.
+  text exposition and Chrome-trace counter tracks;
+* :mod:`repro.obs.tracing` — the causal span tracer (``SpanContext``
+  propagation across threads and processes, ``REPRO_TRACING=off`` no-op
+  mode, Chrome-trace async-event/flow-arrow export);
+* :mod:`repro.obs.provenance` — the decision-provenance ledger
+  (``PROVENANCE_*.jsonl``: costing waves, placements, swap arithmetic,
+  plan-request lineage);
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report <run dir>``
+  CLI digesting one run's TRACE/METRICS/PROVENANCE files;
+* :mod:`repro.obs.artifacts` — the ``REPRO_ARTIFACT_DIR`` knob all
+  artifact writers resolve their output paths through.
 """
 
+from .artifacts import artifact_dir, artifact_path
 from .export import (
+    SNAPSHOT_SCHEMA_VERSION,
     record_counter_tracks,
     snapshot,
     to_prometheus,
@@ -31,6 +43,22 @@ from .metrics import (
     set_registry,
     span,
     timed,
+)
+from .provenance import (
+    ProvenanceLedger,
+    get_ledger,
+    load_provenance,
+    set_ledger,
+    write_provenance,
+)
+from .tracing import (
+    SpanContext,
+    SpanRecord,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
 )
 
 __all__ = [
@@ -51,5 +79,20 @@ __all__ = [
     "to_prometheus",
     "snapshot",
     "write_metrics_snapshot",
+    "SNAPSHOT_SCHEMA_VERSION",
     "record_counter_tracks",
+    "artifact_dir",
+    "artifact_path",
+    "tracing_enabled",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "current_span",
+    "ProvenanceLedger",
+    "get_ledger",
+    "set_ledger",
+    "write_provenance",
+    "load_provenance",
 ]

@@ -1,0 +1,45 @@
+"""Where run artifacts land: the ``REPRO_ARTIFACT_DIR`` knob.
+
+Benchmarks and traced runs emit a family of sibling files —
+``BENCH_*.json``, ``TRACE_*.json``, ``METRICS_*.json``,
+``PROVENANCE_*.jsonl`` — that historically always landed in the repository
+root.  ``REPRO_ARTIFACT_DIR`` (default ``.``: the current working
+directory, which in CI *is* the repo root, so the default changes nothing
+there) redirects every writer in one place: benchmarks resolve their
+output paths through :func:`artifact_path`, and the regression checker
+resolves relative baseline/current paths against the same directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["artifact_dir", "artifact_path"]
+
+
+def artifact_dir(default: Union[str, Path] = ".") -> Path:
+    """The directory run artifacts are written to (``REPRO_ARTIFACT_DIR``).
+
+    Falls back to ``default`` (``.``: the current working directory) when the
+    knob is unset; benchmarks pass their historical repo-root default so the
+    knob redirects them without changing the no-knob behaviour.  The
+    directory is created on first use by the writers (``Path.mkdir`` in
+    their save paths), not here — reading the knob has no filesystem side
+    effects.
+    """
+    value = os.environ.get("REPRO_ARTIFACT_DIR", "").strip()
+    return Path(value) if value else Path(default)
+
+
+def artifact_path(name: Union[str, Path], default_dir: Union[str, Path] = ".") -> Path:
+    """Resolve one artifact file name inside :func:`artifact_dir`.
+
+    Absolute names pass through untouched, so explicit ``--output /tmp/x``
+    style arguments always win over the knob.
+    """
+    name = Path(name)
+    if name.is_absolute():
+        return name
+    return artifact_dir(default_dir) / name

@@ -100,6 +100,12 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                     f"{name}_sum{_label_str(labels)} {_format_value(series.sum)}"
                 )
                 lines.append(f"{name}_count{_label_str(labels)} {series.count}")
+                # Exact observed extremes alongside the P² quantile estimates
+                # (0 on an empty series, matching the JSON snapshot form).
+                low = series.min if series.count else 0.0
+                high = series.max if series.count else 0.0
+                lines.append(f"{name}_min{_label_str(labels)} {_format_value(low)}")
+                lines.append(f"{name}_max{_label_str(labels)} {_format_value(high)}")
             elif isinstance(instrument, (Counter, Gauge)):
                 lines.append(
                     f"{name}{_label_str(labels)} {_format_value(series[0])}"
@@ -107,11 +113,18 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+SNAPSHOT_SCHEMA_VERSION = 2
+"""Version stamp of the ``METRICS_*.json`` layout.  Version 2 added
+histogram ``min``/``max`` alongside the P² quantiles; consumers (the run
+report CLI, dashboards) can branch on it instead of sniffing keys."""
+
+
 def snapshot(
     registry: MetricsRegistry, extra: Optional[Mapping[str, Any]] = None
 ) -> Dict[str, Any]:
     """The JSON snapshot object: registry contents plus caller metadata."""
     data = registry.to_dict()
+    data["schema_version"] = SNAPSHOT_SCHEMA_VERSION
     if extra:
         data["meta"] = dict(extra)
     return data

@@ -26,6 +26,8 @@ from ..core.plan import ExecutionPlan
 from ..core.pruning import PruneConfig
 from ..core.search import SearchConfig
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.provenance import get_ledger
+from ..obs.tracing import get_tracer
 from ..service.server import PlanRequest, PlanService, RequestStats, ServiceStats
 from .job import Job
 from .metrics import SearchTimeStats
@@ -125,41 +127,65 @@ class PlanCosting:
         if not pairs:
             return []
         wave_started = time.perf_counter()
-        futures = [
-            self.service.submit(self._request(job, partition))
-            for job, partition in pairs
-        ]
-        out: List[Candidate] = []
-        for (job, partition), future in zip(pairs, futures):
-            self.candidates_scored += 1
-            try:
-                response = future.result()
-            except ValueError:
-                # No admissible allocation for some call on this partition
-                # (e.g. the model cannot fit at any parallelization) — the
-                # candidate is simply infeasible, not an error.
+        # The wave span is the root of each decision's causal tree: requests
+        # submitted inside it carry its context onto the service, so every
+        # plan-request span (and its search-chain spans) hangs beneath it.
+        with get_tracer().start_span(
+            "decision wave",
+            category="sched",
+            args={"candidates": len(pairs)},
+        ) as wave_span:
+            futures = [
+                self.service.submit(self._request(job, partition))
+                for job, partition in pairs
+            ]
+            out: List[Candidate] = []
+            for (job, partition), future in zip(pairs, futures):
+                self.candidates_scored += 1
+                try:
+                    response = future.result()
+                except ValueError:
+                    # No admissible allocation for some call on this partition
+                    # (e.g. the model cannot fit at any parallelization) — the
+                    # candidate is simply infeasible, not an error.
+                    out.append(
+                        Candidate(
+                            job=job,
+                            partition=partition,
+                            plan=None,
+                            seconds_per_iteration=float("inf"),
+                            feasible=False,
+                        )
+                    )
+                    continue
+                self._record(job, response.stats)
                 out.append(
                     Candidate(
                         job=job,
                         partition=partition,
-                        plan=None,
-                        seconds_per_iteration=float("inf"),
-                        feasible=False,
+                        plan=response.plan,
+                        seconds_per_iteration=response.cost,
+                        feasible=response.feasible and response.cost > 0,
+                        stats=response.stats,
                     )
                 )
-                continue
-            self._record(job, response.stats)
-            out.append(
-                Candidate(
-                    job=job,
-                    partition=partition,
-                    plan=response.plan,
-                    seconds_per_iteration=response.cost,
-                    feasible=response.feasible and response.cost > 0,
-                    stats=response.stats,
-                )
-            )
-        wave_seconds = time.perf_counter() - wave_started
+            wave_seconds = time.perf_counter() - wave_started
+            wave_span.set(wave_seconds=wave_seconds)
+        get_ledger().record(
+            "decision_wave",
+            wave_seconds=wave_seconds,
+            candidates=[
+                {
+                    "job": candidate.job.spec.name,
+                    "partition": candidate.partition.describe(),
+                    "cost": candidate.seconds_per_iteration,
+                    "feasible": candidate.feasible,
+                    "outcome": candidate.stats.outcome if candidate.stats else "infeasible",
+                    "fingerprint": candidate.stats.fingerprint if candidate.stats else None,
+                }
+                for candidate in out
+            ],
+        )
         self._wave_seconds.append(wave_seconds)
         self._wave_sizes.append(len(pairs))
         self._m_decision.observe(wave_seconds)

@@ -132,6 +132,8 @@ class ScheduleReport:
     """Where the merged Chrome trace of this run was written (if exported)."""
     metrics_path: Optional[str] = None
     """Where the ``METRICS_*.json`` registry snapshot was written (if any)."""
+    provenance_path: Optional[str] = None
+    """Where the ``PROVENANCE_*.jsonl`` decision ledger was written (if any)."""
 
     # ------------------------------------------------------------------ #
     # Derived cluster-level metrics
@@ -245,5 +247,6 @@ class ScheduleReport:
             "total_switch_seconds": self.total_switch_seconds,
             "trace_path": self.trace_path,
             "metrics_path": self.metrics_path,
+            "provenance_path": self.provenance_path,
             "jobs": [job.to_dict() for job in self.jobs],
         }

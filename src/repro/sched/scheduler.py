@@ -56,6 +56,8 @@ from ..core.search import SearchConfig
 from ..obs.export import record_counter_tracks, write_metrics_snapshot
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.provenance import get_ledger
+from ..obs.tracing import get_tracer
 from ..service.server import PlanRequest, PlanService
 from ..sim.kernel import Event, SimKernel
 from ..sim.trace import TraceRecorder
@@ -191,6 +193,7 @@ class ClusterScheduler:
         failures: Sequence[NodeFailure] = (),
         trace_path: Optional[str] = None,
         metrics_path: Optional[str] = None,
+        provenance_path: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         names = [spec.name for spec in jobs]
@@ -212,7 +215,14 @@ class ClusterScheduler:
         self.failures = list(failures)
         self.trace_path = trace_path
         self.metrics_path = metrics_path
+        self.provenance_path = provenance_path
         self.registry = registry if registry is not None else get_registry()
+        # The tracer and ledger are process-global (a shared service keeps
+        # recording across runs); baselines turn them into per-run deltas.
+        self._tracer = get_tracer()
+        self._trace_baseline = self._tracer.n_records
+        self._ledger = get_ledger()
+        self._ledger_baseline = self._ledger.n_events
         self.jobs = [Job.from_spec(spec) for spec in jobs]
         self.manager = PartitionManager(cluster)
         self.costing = PlanCosting(
@@ -343,6 +353,11 @@ class ClusterScheduler:
         report = self._report()
         if self.trace_path is not None:
             report.trace_path = str(self.export_chrome_trace(self.trace_path))
+        provenance_path = self._resolved_provenance_path()
+        if provenance_path is not None and self._ledger.enabled:
+            report.provenance_path = str(
+                self._ledger.write_jsonl(provenance_path, since=self._ledger_baseline)
+            )
         metrics_path = self._resolved_metrics_path()
         if metrics_path is not None and self.registry.enabled:
             report.metrics_path = str(
@@ -372,6 +387,20 @@ class ClusterScheduler:
         if self.trace_path is not None:
             trace = Path(self.trace_path)
             return str(trace.with_name(f"METRICS_{trace.stem}.json"))
+        return None
+
+    def _resolved_provenance_path(self) -> Optional[str]:
+        """Where the ``PROVENANCE_*.jsonl`` ledger lands (``None``: nowhere).
+
+        Same convention as the metrics snapshot: explicit ``provenance_path``
+        wins, otherwise a trace-exporting run writes
+        ``PROVENANCE_<trace stem>.jsonl`` next to its Chrome trace.
+        """
+        if self.provenance_path is not None:
+            return self.provenance_path
+        if self.trace_path is not None:
+            trace = Path(self.trace_path)
+            return str(trace.with_name(f"PROVENANCE_{trace.stem}.jsonl"))
         return None
 
     def _after_timestamp(self, time: float) -> None:
@@ -570,14 +599,51 @@ class ClusterScheduler:
             job, job.partition, job.plan, job.partition, plan
         )
         effective = cost + switch / remaining
-        if effective <= 0 or planned / effective < self.config.swap_margin:
+        ratio = planned / effective if effective > 0 else 0.0
+        if effective <= 0 or ratio < self.config.swap_margin:
             self._n_swaps_rejected += 1
             self._m_swaps.labels(outcome="rejected").inc()
+            self._ledger.record(
+                "swap",
+                outcome="rejected",
+                job=job.name,
+                time=time,
+                planned=planned,
+                cost=cost,
+                switch=switch,
+                remaining=remaining,
+                effective=effective,
+                ratio=ratio,
+                threshold=self.config.swap_margin,
+            )
             return False
         saved = remaining * (planned - cost) - switch
         partition = job.partition
-        self._cut_segment(job, time)
-        charged = self._start_segment(job, partition, plan, cost, time)
+        # The swap span grafts under the session poll that found the winning
+        # plan, closing the causal loop from the scheduler decision back to
+        # the background search slice.
+        with self._tracer.start_span(
+            "plan swap",
+            category="sched",
+            parent=session.winning_poll_context,
+            args={"job": job.name, "saved": saved, "ratio": ratio},
+        ):
+            self._cut_segment(job, time)
+            charged = self._start_segment(job, partition, plan, cost, time)
+        self._ledger.record(
+            "swap",
+            outcome="taken",
+            job=job.name,
+            time=time,
+            planned=planned,
+            cost=cost,
+            switch=switch,
+            remaining=remaining,
+            effective=effective,
+            ratio=ratio,
+            threshold=self.config.swap_margin,
+            saved=saved,
+        )
         job.n_swaps += 1
         self._swap_seconds_saved += saved
         self._m_swaps.labels(outcome="taken").inc()
@@ -734,6 +800,20 @@ class ClusterScheduler:
         else:
             job.first_started_at = time
         kind = "replan" if replanned else "placement"
+        stats = candidate.stats
+        self._ledger.record(
+            "placement",
+            job=job.name,
+            time=time,
+            decision=kind,
+            policy=self.policy.name,
+            partition=candidate.partition.describe(),
+            cost=candidate.seconds_per_iteration,
+            switch=switch,
+            lineage=stats.outcome if stats is not None else "unknown",
+            fingerprint=stats.fingerprint if stats is not None else None,
+            seeded_from=stats.seeded_from if stats is not None else None,
+        )
         detail = (
             f"{candidate.partition.describe()}, "
             f"{job.seconds_per_iteration:.2f} s/iter"
@@ -877,7 +957,12 @@ class ClusterScheduler:
         seconds); each job gets a process with its running segments,
         parameter-switch windows, iteration spans and — inside every
         completed iteration — the engine-profiled call phases.
+
+        When tracing is on, the run's causal span tree (decision waves →
+        plan requests → search chains, plus session polls and swaps) merges
+        in as async events with flow arrows on a ``planning`` process.
         """
+        self._tracer.record_chrome(recorder, since=self._trace_baseline)
         record_counter_tracks(recorder, "cluster", self._counter_samples)
         for entry in self._timeline:
             label = entry["event"] if entry["job"] is None else f"{entry['event']}: {entry['job']}"
@@ -939,6 +1024,7 @@ def schedule_trace(
     failures: Sequence[NodeFailure] = (),
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    provenance_path: Optional[str] = None,
 ) -> ScheduleReport:
     """Convenience wrapper: build a :class:`ClusterScheduler` and run it once."""
     scheduler = ClusterScheduler(
@@ -950,5 +1036,6 @@ def schedule_trace(
         failures=failures,
         trace_path=trace_path,
         metrics_path=metrics_path,
+        provenance_path=provenance_path,
     )
     return scheduler.run()

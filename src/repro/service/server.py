@@ -40,6 +40,8 @@ from ..core.search import MCMCSearcher, SearchConfig, SearchResult, SearchSessio
 from ..core.workload import RLHFWorkload
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.provenance import get_ledger
+from ..obs.tracing import SpanContext, current_span, get_tracer
 from .cache import PlanCache, PlanCacheEntry
 from .fingerprint import WorkloadFingerprint, fingerprint_request
 from .warm_start import adapt_plan, select_warm_start
@@ -83,6 +85,18 @@ class RequestStats:
     queue_seconds: float = 0.0
     search_seconds: float = 0.0
     total_seconds: float = 0.0
+    seeded_from: Optional[str] = None
+    """Cache key of the entry that warm-started this search (``None`` when
+    the search started cold, was a hit, or joined an in-flight search)."""
+
+    @property
+    def outcome(self) -> str:
+        """The canonical outcome label: ``hit``/``dedup``/``warm``/``cold``."""
+        if self.cache_hit:
+            return "hit"
+        if self.dedup_joined:
+            return "dedup"
+        return "warm" if self.warm_started else "cold"
 
 
 @dataclass(frozen=True)
@@ -200,6 +214,7 @@ class PlanSession:
         session: SearchSession,
         estimator: RuntimeEstimator,
         warm_started: bool = False,
+        seeded_from: Optional[str] = None,
     ) -> None:
         self.service = service
         self.session_id = session_id
@@ -208,6 +223,11 @@ class PlanSession:
         self.session = session
         self.estimator = estimator
         self.warm_started = warm_started
+        self.seeded_from = seeded_from
+        self.winning_poll_context: Optional[SpanContext] = None
+        """Span context of the most recent *improving* poll — what a
+        scheduler-side plan swap grafts its span under, closing the causal
+        loop from the swap back to the slice that found the winning plan."""
         self._lock = threading.Lock()
         self._closed = False
         self._final: Optional[PlanResponse] = None
@@ -257,7 +277,22 @@ class PlanSession:
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"session {self.session_id} has been stopped")
-            progress = self.session.poll(max_iterations, time_budget_s)
+            with get_tracer().start_span(
+                "session poll",
+                category="service",
+                args={
+                    "session_id": self.session_id,
+                    "fingerprint": self.fingerprint.key,
+                },
+            ) as poll_span:
+                progress = self.session.poll(max_iterations, time_budget_s)
+                poll_span.set(
+                    improved=progress.improved,
+                    best_cost=progress.best_cost,
+                    new_iterations=progress.new_iterations,
+                )
+                if progress.improved and poll_span.context is not None:
+                    self.winning_poll_context = poll_span.context
             refreshed = False
             if progress.improved:
                 refreshed = self.service._session_write_back(self)
@@ -290,6 +325,7 @@ class PlanSession:
                 warm_started=self.warm_started,
                 search_seconds=search_seconds,
                 total_seconds=result.elapsed_seconds,
+                seeded_from=self.seeded_from,
             )
             self._final = PlanResponse(
                 plan=result.best_plan,
@@ -418,6 +454,10 @@ class PlanService:
             raise RuntimeError("PlanService has been shut down")
         fingerprint = request.fingerprint()
         submitted_at = time.perf_counter()
+        # The caller's span context travels with the request onto the worker
+        # thread, so the service-side request span stays a child of the
+        # scheduler decision that triggered it.
+        caller_context = current_span()
         with self._lock:
             self.stats.requests += 1
             entry = self.cache.get(fingerprint.key)
@@ -426,10 +466,15 @@ class PlanService:
                 if primary is not None:
                     self.stats.dedup_joins += 1
                     self._m_requests.labels(outcome="dedup").inc()
+                    get_ledger().record(
+                        "plan_request",
+                        fingerprint=fingerprint.key,
+                        outcome="dedup",
+                    )
                     return self._join_inflight(primary)
                 self.stats.cache_misses += 1
                 future = self._pool.submit(
-                    self._execute, request, fingerprint, submitted_at
+                    self._execute, request, fingerprint, submitted_at, caller_context
                 )
                 self._inflight[fingerprint.key] = future
                 future.add_done_callback(
@@ -439,7 +484,21 @@ class PlanService:
             self.stats.cache_hits += 1
         # Deserializing the cached plan can be comparatively expensive, so
         # hits are materialised outside the lock to keep submission concurrent.
-        response = self._response_from_entry(entry, request, fingerprint, submitted_at)
+        with get_tracer().start_span(
+            "plan request",
+            category="service",
+            args={"fingerprint": fingerprint.key, "outcome": "hit"},
+        ) as request_span:
+            response = self._response_from_entry(
+                entry, request, fingerprint, submitted_at
+            )
+            request_span.set(cost=response.cost)
+        get_ledger().record(
+            "plan_request",
+            fingerprint=fingerprint.key,
+            outcome="hit",
+            cost=response.cost,
+        )
         self._m_requests.labels(outcome="hit").inc()
         self._m_latency.labels(outcome="hit").observe(response.stats.total_seconds)
         done: "Future[PlanResponse]" = Future()
@@ -487,6 +546,7 @@ class PlanService:
         )
         seed_plans: List[ExecutionPlan] = []
         warm_started = False
+        seeded_from: Optional[str] = None
         exact = self.cache.peek(fingerprint.key)
         if exact is not None:
             seed_plans.append(exact.plan(request.cluster))
@@ -497,6 +557,7 @@ class PlanService:
                 if warm_plan is not None:
                     seed_plans.append(warm_plan)
                     warm_started = True
+                    seeded_from = entry.key
         estimator = self._estimator_for(request, fingerprint)
         searcher = MCMCSearcher(
             graph=request.graph,
@@ -526,9 +587,18 @@ class PlanService:
                 session=session,
                 estimator=estimator,
                 warm_started=warm_started,
+                seeded_from=seeded_from,
             )
             self._sessions[session_id] = handle
             self.stats.sessions_started += 1
+        get_ledger().record(
+            "plan_request",
+            fingerprint=fingerprint.key,
+            outcome="session",
+            session_id=session_id,
+            exact_seed=exact is not None,
+            seeded_from=seeded_from,
+        )
         self._m_sessions.inc()
         self._log.debug(
             "opened online session %s", session_id,
@@ -704,10 +774,28 @@ class PlanService:
         request: PlanRequest,
         fingerprint: WorkloadFingerprint,
         submitted_at: float,
+        caller_context: Optional[SpanContext] = None,
     ) -> PlanResponse:
         self._m_inflight.inc()
         try:
-            return self._execute_inner(request, fingerprint, submitted_at)
+            # Re-establish the submitter's span context on this worker
+            # thread, then span the whole request under it.
+            tracer = get_tracer()
+            with tracer.activate(caller_context):
+                with tracer.start_span(
+                    "plan request",
+                    category="service",
+                    args={"fingerprint": fingerprint.key},
+                ) as request_span:
+                    response = self._execute_inner(
+                        request, fingerprint, submitted_at
+                    )
+                    request_span.set(
+                        outcome=response.stats.outcome,
+                        cost=response.cost,
+                        seeded_from=response.stats.seeded_from,
+                    )
+            return response
         finally:
             self._m_inflight.dec()
 
@@ -724,6 +812,7 @@ class PlanService:
         )
         seed_plans: List[ExecutionPlan] = []
         warm_started = False
+        seeded_from: Optional[str] = None
         if self.warm_start:
             entry = select_warm_start(self.cache, fingerprint)
             if entry is not None:
@@ -731,6 +820,7 @@ class PlanService:
                 if warm_plan is not None:
                     seed_plans.append(warm_plan)
                     warm_started = True
+                    seeded_from = entry.key
         estimator = self._estimator_for(request, fingerprint)
         searcher = MCMCSearcher(
             graph=request.graph,
@@ -759,6 +849,15 @@ class PlanService:
             self.stats.search_seconds += result.elapsed_seconds
         total_seconds = finished_at - submitted_at
         outcome = "warm" if warm_started else "cold"
+        get_ledger().record(
+            "plan_request",
+            fingerprint=fingerprint.key,
+            outcome=outcome,
+            seeded_from=seeded_from,
+            cost=result.best_cost,
+            initial_cost=result.initial_cost,
+            search_seconds=result.elapsed_seconds,
+        )
         self._m_requests.labels(outcome=outcome).inc()
         self._m_latency.labels(outcome=outcome).observe(total_seconds)
         self._m_search_seconds.inc(result.elapsed_seconds)
@@ -781,6 +880,7 @@ class PlanService:
             queue_seconds=queue_seconds,
             search_seconds=result.elapsed_seconds,
             total_seconds=total_seconds,
+            seeded_from=seeded_from,
         )
         return PlanResponse(
             plan=result.best_plan,

@@ -12,13 +12,16 @@ The exporter emits the `Trace Event Format
 <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
 complete events (``ph: "X"``) for spans, instant events (``ph: "i"``) for
 markers, counter events (``ph: "C"``) for live metric tracks (queue depth,
-free GPUs, cache hit ratio — rendered as stacked area tracks by Perfetto)
-and metadata events (``ph: "M"``) naming processes and threads.
-Timestamps are microseconds; process/thread labels are interned to stable
-integer ids.  :func:`validate_chrome_events` checks the required keys
-(``ph``, ``ts``, ``pid``, ``tid``, ``name``) plus the per-phase extras
-(numeric ``dur`` on spans, numeric ``args`` on counters) so exports are
-guaranteed to load cleanly.
+free GPUs, cache hit ratio — rendered as stacked area tracks by Perfetto),
+async events (``ph: "b"``/``"e"``) for the causal span trees of
+:mod:`repro.obs.tracing`, flow arrows (``ph: "s"``/``"f"``) linking causally
+related events across tracks, and metadata events (``ph: "M"``) naming
+processes and threads.  Timestamps are microseconds; process/thread labels
+are interned to stable integer ids.  :func:`validate_chrome_events` checks
+the required keys (``ph``, ``ts``, ``pid``, ``tid``, ``name``) plus the
+per-phase extras (numeric ``dur`` on spans, numeric ``args`` on counters,
+an ``id`` on async and flow events) so exports are guaranteed to load
+cleanly.
 """
 
 from __future__ import annotations
@@ -206,6 +209,90 @@ class TraceRecorder:
             event["cat"] = category
         self._events.append(event)
 
+    def add_async_span(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        id: Union[str, int],
+        category: str = "span",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one async span as a ``ph: "b"``/``"e"`` event pair.
+
+        Async events nest by ``(cat, id)`` rather than by stack order, which
+        is what lets the causal span trees of :mod:`repro.obs.tracing` —
+        whose spans overlap freely across threads and processes — render as
+        separate tracks in Perfetto.  ``args`` travel on the begin event.
+        """
+        pid = self._pid(process)
+        tid = self._tid(process, thread)
+        begin: Dict[str, Any] = {
+            "ph": "b",
+            "ts": start_s * _US_PER_S,
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": category or "span",
+            "id": str(id),
+        }
+        if args:
+            begin["args"] = dict(args)
+        self._events.append(begin)
+        self._events.append(
+            {
+                "ph": "e",
+                "ts": max(start_s, end_s) * _US_PER_S,
+                "pid": pid,
+                "tid": tid,
+                "name": name,
+                "cat": category or "span",
+                "id": str(id),
+            }
+        )
+
+    def add_flow(
+        self,
+        from_process: str,
+        from_thread: str,
+        from_time_s: float,
+        to_process: str,
+        to_thread: str,
+        to_time_s: float,
+        id: Union[str, int],
+        name: str = "causal",
+        category: str = "flow",
+    ) -> None:
+        """Record one flow arrow (``ph: "s"`` → ``ph: "f"``) between tracks.
+
+        Flow events bind to the events at their ``(pid, tid, ts)``; the
+        finish step carries ``bp: "e"`` (bind to enclosing slice), the form
+        both chrome://tracing and Perfetto accept.  ``name``/``cat``/``id``
+        must match between the two steps — the recorder guarantees that.
+        """
+        common = {"name": name, "cat": category, "id": str(id)}
+        self._events.append(
+            {
+                "ph": "s",
+                "ts": from_time_s * _US_PER_S,
+                "pid": self._pid(from_process),
+                "tid": self._tid(from_process, from_thread),
+                **common,
+            }
+        )
+        self._events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "ts": to_time_s * _US_PER_S,
+                "pid": self._pid(to_process),
+                "tid": self._tid(to_process, to_thread),
+                **common,
+            }
+        )
+
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
@@ -233,13 +320,18 @@ class TraceRecorder:
 
 _REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
 
+_ID_PHASES = ("b", "e", "n", "s", "t", "f")
+"""Async (``b``/``e``/``n``) and flow (``s``/``t``/``f``) events match their
+counterparts by ``id`` — a missing id silently orphans them in the UI."""
+
 
 def validate_chrome_events(events: Sequence[Mapping[str, Any]]) -> None:
     """Check every event carries the Trace Event Format required keys.
 
     Raises ``ValueError`` on the first violation: a missing required key, a
-    non-numeric timestamp, a complete event without a duration, or a counter
-    event without a mapping of numeric series values.
+    non-numeric timestamp, a complete event without a duration, a counter
+    event without a mapping of numeric series values, or an async/flow event
+    without the ``id`` its begin/end (or start/finish) matching needs.
     """
     for index, event in enumerate(events):
         for key in _REQUIRED_KEYS:
@@ -249,6 +341,12 @@ def validate_chrome_events(events: Sequence[Mapping[str, Any]]) -> None:
             raise ValueError(f"trace event {index} has non-numeric ts: {event['ts']!r}")
         if event["ph"] == "X" and not isinstance(event.get("dur"), (int, float)):
             raise ValueError(f"complete trace event {index} misses numeric 'dur': {event}")
+        if event["ph"] in _ID_PHASES:
+            identifier = event.get("id")
+            if not isinstance(identifier, (str, int)) or identifier in ("", None):
+                raise ValueError(
+                    f"async/flow trace event {index} misses its 'id': {event}"
+                )
         if event["ph"] == "C":
             args = event.get("args")
             if not isinstance(args, Mapping) or not args:

@@ -36,8 +36,8 @@ def test_examples_directory_complete():
     assert names == [
         "compare_rlhf_systems",
         "long_context_planning",
-        "metrics_export",
         "multi_job_scheduling",
+        "observability_tour",
         "quickstart",
         "tiny_rlhf_training",
         "trace_export",
@@ -115,23 +115,29 @@ def test_trace_export_tiny_run(monkeypatch, capsys, tmp_path):
     assert load_chrome_trace(tmp_path / "schedule_trace.json")
 
 
-def test_metrics_export_tiny_run(monkeypatch, capsys, tmp_path):
+def test_observability_tour_tiny_run(monkeypatch, capsys, tmp_path):
     _run_main(
         monkeypatch,
-        "metrics_export",
+        "observability_tour",
         ["--gpus", "16", "--search-iterations", "25", "--out-dir", str(tmp_path)],
     )
     out = capsys.readouterr().out
     assert "metrics snapshot" in out
     assert "Prometheus exposition" in out
     assert "counter tracks" in out
-    # The three exports really landed: snapshot, exposition, trace.
-    assert (tmp_path / "METRICS_schedule_trace.json").exists()
+    assert "causal spans" in out
+    assert "provenance ledger" in out
+    assert "run report" in out
+    # The exports really landed: snapshot, exposition, trace, provenance.
+    assert (tmp_path / "METRICS_TRACE_schedule.json").exists()
+    assert (tmp_path / "PROVENANCE_TRACE_schedule.jsonl").exists()
     assert "# TYPE" in (tmp_path / "metrics.prom").read_text()
-    from repro.sim import load_chrome_trace
+    from repro.sim import load_chrome_trace, validate_chrome_events
 
-    events = load_chrome_trace(tmp_path / "schedule_trace.json")
+    events = load_chrome_trace(tmp_path / "TRACE_schedule.json")
+    validate_chrome_events(events)
     assert any(event["ph"] == "C" for event in events)
+    assert any(event["ph"] == "b" for event in events)
 
 
 @pytest.mark.parametrize(
@@ -141,8 +147,8 @@ def test_metrics_export_tiny_run(monkeypatch, capsys, tmp_path):
         "compare_rlhf_systems",
         "long_context_planning",
         "tiny_rlhf_training",
-        "metrics_export",
         "multi_job_scheduling",
+        "observability_tour",
         "trace_export",
     ],
 )

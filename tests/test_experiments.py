@@ -205,10 +205,12 @@ class TestSchedulerComparisonTraces:
         for report in reports:
             assert report.trace_path is not None
             assert load_chrome_trace(report.trace_path)
-        # Each trace brings its METRICS_* telemetry snapshot along.
+        # Each trace brings its METRICS_* snapshot and PROVENANCE_* ledger.
         assert sorted(p.name for p in tmp_path.iterdir()) == [
             "METRICS_schedule_best_throughput.json",
             "METRICS_schedule_first_fit.json",
+            "PROVENANCE_schedule_best_throughput.jsonl",
+            "PROVENANCE_schedule_first_fit.jsonl",
             "schedule_best_throughput.json",
             "schedule_first_fit.json",
         ]

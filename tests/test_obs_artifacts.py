@@ -1,0 +1,101 @@
+"""Tests for the ``REPRO_ARTIFACT_DIR`` knob (:mod:`repro.obs.artifacts`).
+
+One knob moves every ``BENCH_*/TRACE_*/METRICS_*/PROVENANCE_*`` writer:
+benchmarks resolve outputs through :func:`artifact_path` (with their
+historical repo-root default preserved when the knob is unset), and
+``check_bench_regression.py`` resolves relative report paths against the
+same directory without importing the package.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import artifact_dir, artifact_path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+class TestArtifactPath:
+    def test_default_is_cwd_relative(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        assert artifact_dir() == Path(".")
+        assert artifact_path("BENCH_x.json") == Path("BENCH_x.json")
+
+    def test_default_dir_preserves_historical_destination(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        repo_root = Path("/some/repo")
+        assert artifact_path("BENCH_x.json", default_dir=repo_root) == repo_root / "BENCH_x.json"
+
+    def test_knob_redirects_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        assert artifact_dir() == tmp_path
+        # The knob beats the caller's default_dir...
+        assert artifact_path("TRACE_x.json", default_dir="/some/repo") == tmp_path / "TRACE_x.json"
+
+    def test_absolute_names_always_win(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        explicit = Path("/tmp/explicit/out.json")
+        assert artifact_path(explicit) == explicit
+
+    def test_blank_knob_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", "   ")
+        assert artifact_dir() == Path(".")
+
+    def test_no_filesystem_side_effects(self, monkeypatch, tmp_path):
+        target = tmp_path / "does-not-exist-yet"
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(target))
+        artifact_path("BENCH_x.json")
+        assert not target.exists()
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, BENCHMARKS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    # Benchmarks import their siblings by bare name (they run standalone
+    # from the benchmarks/ directory).
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    return module
+
+
+class TestBenchmarkWriters:
+    @pytest.mark.parametrize(
+        "bench",
+        ["bench_search_scaling", "bench_runtime_trace", "bench_online_replanning"],
+    )
+    def test_benchmarks_resolve_through_the_knob(self, monkeypatch, tmp_path, bench):
+        module = _load_module(bench)
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        # Resolution happens at call time, so the env set after import wins.
+        assert module._artifact("BENCH_x.json") == tmp_path / "BENCH_x.json"
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR")
+        assert module._artifact("BENCH_x.json") == module._REPO_ROOT / "BENCH_x.json"
+
+    def test_checker_resolves_relative_reports(self, monkeypatch, tmp_path):
+        checker = _load_module("check_bench_regression")
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        assert checker._resolve(Path("BENCH_x.json")) == tmp_path / "BENCH_x.json"
+        assert checker._resolve(Path("/abs/BENCH_x.json")) == Path("/abs/BENCH_x.json")
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR")
+        assert checker._resolve(Path("BENCH_x.json")) == Path("BENCH_x.json")
+
+    def test_checker_main_reads_from_artifact_dir(self, monkeypatch, tmp_path, capsys):
+        checker = _load_module("check_bench_regression")
+        report = {"mode": "smoke", "metrics": {"m": {"value": 1.0, "higher_is_better": True}}}
+        import json
+
+        (tmp_path / "base.json").write_text(json.dumps(report))
+        (tmp_path / "cur.json").write_text(json.dumps(report))
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        code = checker.main(["--baseline", "base.json", "--current", "cur.json"])
+        assert code == 0
+        assert "perf check OK" in capsys.readouterr().out

@@ -134,6 +134,32 @@ class TestPrometheusExposition:
         assert 'lh_seconds_bucket{outcome="hit",le="+Inf"} 1' in text
         assert 'lh_seconds_count{outcome="hit"} 1' in text
 
+    def test_histogram_min_max_lines(self, registry):
+        h = registry.histogram("mm_seconds", "", buckets=(1.0,))
+        for v in (0.3, 2.5, 0.9):
+            h.observe(v)
+        lines = to_prometheus(registry).splitlines()
+        assert "mm_seconds_min 0.3" in lines
+        assert "mm_seconds_max 2.5" in lines
+        # The extremes parse under the grammar and sit with the other samples.
+        for suffix in ("_min", "_max"):
+            (sample,) = [l for l in lines if l.startswith(f"mm_seconds{suffix}")]
+            assert _SAMPLE_LINE.match(sample)
+
+    def test_labeled_histogram_min_max_keep_labels(self, registry):
+        h = registry.histogram("lmm_seconds", "", labels=("outcome",), buckets=(1.0,))
+        h.labels(outcome="hit").observe(0.5)
+        h.labels(outcome="hit").observe(1.5)
+        text = to_prometheus(registry)
+        assert 'lmm_seconds_min{outcome="hit"} 0.5' in text
+        assert 'lmm_seconds_max{outcome="hit"} 1.5' in text
+
+    def test_empty_histogram_extremes_are_zero(self, registry):
+        registry.histogram("empty_seconds", "", buckets=(1.0,))
+        text = to_prometheus(registry)
+        assert "empty_seconds_min 0" in text
+        assert "empty_seconds_max 0" in text
+
     def test_special_float_values(self, registry):
         registry.gauge("weird_gauge", "").set(float("inf"))
         assert "weird_gauge +Inf" in to_prometheus(registry)
@@ -168,6 +194,26 @@ class TestSnapshot:
         data = json.loads(path.read_text())
         assert data["meta"]["mode"] == "unit"
         assert data["metrics"]["w_total"]["series"][0]["value"] == 7
+
+    def test_snapshot_stamps_schema_version(self, registry):
+        from repro.obs import SNAPSHOT_SCHEMA_VERSION
+
+        data = snapshot(registry)
+        assert data["schema_version"] == SNAPSHOT_SCHEMA_VERSION == 2
+
+    def test_snapshot_series_carry_exact_extremes(self, registry):
+        h = registry.histogram("ext_seconds", "")
+        for v in (0.2, 4.0, 1.0):
+            h.observe(v)
+        series = snapshot(registry)["metrics"]["ext_seconds"]["series"][0]
+        assert series["min"] == 0.2
+        assert series["max"] == 4.0
+        # Empty series report 0.0 extremes, not +/-inf (JSON-safe).
+        registry.histogram("ext2_seconds", "")
+        empty = snapshot(registry)["metrics"]["ext2_seconds"]["series"]
+        assert empty == [] or all(
+            s["min"] == 0.0 and s["max"] == 0.0 for s in empty
+        )
 
     def test_snapshot_runs_collectors(self, registry):
         registry.register_collector(
