@@ -31,8 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import time
 from pathlib import Path
 from typing import Dict, Optional
@@ -40,7 +38,7 @@ from typing import Dict, Optional
 from repro.core import SearchConfig
 from repro.cluster import make_cluster
 from repro.experiments import format_table
-from repro.obs import artifact_path
+from repro.obs import artifact_path, machine_fingerprint
 from repro.sched import ClusterScheduler, JobSpec, SchedulerConfig
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -136,11 +134,7 @@ def run_benchmark(smoke: bool = False) -> Dict[str, object]:
             "rushed admission search; online arm polls background sessions "
             "and hot-swaps at iteration boundaries"
         ),
-        "machine": {
-            "cores": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "machine": machine_fingerprint(),
         "details": {
             **{f"baseline_{k}": v for k, v in baseline.items()},
             **{f"online_{k}": v for k, v in online.items()},

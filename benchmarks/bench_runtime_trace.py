@@ -26,8 +26,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import time
 from pathlib import Path
 from typing import Dict
@@ -36,7 +34,7 @@ from repro.algorithms import build_ppo_graph
 from repro.cluster import make_cluster
 from repro.core import ParallelStrategy, SearchConfig, instructgpt_workload, symmetric_plan
 from repro.experiments import format_table
-from repro.obs import artifact_path
+from repro.obs import artifact_path, machine_fingerprint
 from repro.runtime import RuntimeEngine
 from repro.sched import JobSpec, SchedulerConfig, schedule_trace
 from repro.service import PlanService
@@ -159,11 +157,7 @@ def run_benchmark(smoke: bool = False) -> Dict[str, object]:
         "benchmark": "runtime_trace",
         "mode": "smoke" if smoke else "full",
         "setup": "Figure 11/12 engine setup (PPO 7B+7B, 16 GPUs) + warm 4-8 job schedule",
-        "machine": {
-            "cores": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "machine": machine_fingerprint(),
         "details": {**engine, **schedule},
         "metrics": {
             "engine_iterations_per_sec": _metric(engine["engine_iterations_per_sec"], True),

@@ -64,11 +64,18 @@ class MetricComparison:
     threshold: float
     regressed: bool
     missing: bool = False
+    new: bool = False
+    """Present in the current report but absent from the baseline —
+    informational only (baselines evolve; a new metric is not a verdict)."""
 
     def describe(self) -> str:
         """One human-readable line: direction, size and verdict."""
         if self.missing:
             return f"{self.name}: present in baseline but missing now [REGRESSED]"
+        if self.new:
+            return (
+                f"{self.name}: not in baseline ({self.cur_value:.4g} now) [new]"
+            )
         if self.change > 0:
             direction = "rose"
         elif self.change < 0:
@@ -130,6 +137,24 @@ def compare(
                 higher_is_better=higher_is_better,
                 threshold=threshold,
                 regressed=regressed,
+            )
+        )
+    # Metrics the current report added relative to the (older) baseline:
+    # informational, never a regression — this is how baselines grow new
+    # metrics without the first comparison against them failing.
+    for name, cur_entry in sorted(cur_metrics.items()):
+        if name in base_metrics:
+            continue
+        comparisons.append(
+            MetricComparison(
+                name=name,
+                base_value=float("nan"),
+                cur_value=float(cur_entry["value"]),
+                change=0.0,
+                higher_is_better=bool(cur_entry.get("higher_is_better", True)),
+                threshold=threshold,
+                regressed=False,
+                new=True,
             )
         )
     return comparisons

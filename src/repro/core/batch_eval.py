@@ -1,0 +1,767 @@
+"""Vectorized batch plan evaluation: the numpy array-of-plans estimator kernel.
+
+The scalar estimator scores one proposal at a time through Python objects
+(:meth:`~repro.core.estimator.RuntimeEstimator.cost_delta`); this module
+scores a whole *batch* of plans in vectorized numpy sweeps.  The key data
+structure is :class:`BatchPlanState`, a structure-of-arrays over the
+per-workload lookup tables the scalar path memoises one entry at a time:
+
+* per-call **option tables** — every allocation option of every call gets a
+  dense index, and flat ``[n_calls, capacity]`` arrays hold its wall time,
+  memory contributions (static / parameter-shard / active bytes), mesh span
+  and the interned layout / transfer / node-range class ids that decide
+  whether a reallocation or data transfer is charged;
+* per-reallocation-edge **value tables** keyed by the destination's (TP, PP)
+  class and the cross-node bit — exactly the approximate reallocation
+  model's memo key (the exact broadcast-schedule model keys on full layout
+  pairs and is therefore not batchable; estimators using it report
+  ``batch_supported = False``);
+* per-call **transfer tables** keyed by the cross-node bit.
+
+A plan is then just an ``int64`` row of per-call option indices, and
+:meth:`BatchPlanState.evaluate` runs Algorithm 1 over a ``[B, n_calls]``
+index matrix in lock-step: every row completes exactly one call per step,
+the frontier pick replicates the scalar heap's ``(ready_time, rank)``
+ordering with a two-stage masked minimum, and the boundary-event MaxMem is a
+per-GPU masked accumulation that combines contributions in exactly the
+ascending-call-id / first-seen-model order of
+:meth:`RuntimeEstimator._aggregate_memory`.  Every float is produced by the
+same memoised scalar functions and every arithmetic chain keeps the scalar
+path's association order, so the batch result is **bit-identical** to
+``cost()`` / ``cost_delta()`` — the test suite proves this through the
+estimator's existing ``cross_check`` machinery.
+
+The tables are built once per workload (cheap after the searcher's greedy
+initialisation has warmed the per-call time memo) and can be shipped to
+chain worker processes through one ``multiprocessing.shared_memory`` block
+(:class:`SharedTables`, fail-soft to plain pickling) so workers attach
+zero-copy views instead of recomputing ~thousands of cost-model entries.
+:class:`PlanCodec` complements that by encoding plans as per-call option
+indices for the per-poll ``ChainState`` round-trips of sliced searches.
+
+Knobs (environment variables, read per call so tests can flip them):
+
+``REPRO_BATCH_EVAL``
+    ``on`` / ``off`` / ``auto`` (default ``auto``).  Gates whether the MCMC
+    searcher scores proposal batches through this kernel.  The mode never
+    changes search results — the batched chain consumes the RNG stream
+    identically to the scalar chain — only throughput.
+``REPRO_SHARED_TABLES``
+    ``on`` (default) / ``off``.  Whether parallel searches ship the batch
+    tables to workers via shared memory; ``off`` (or any shared-memory
+    failure) falls back to pickling the arrays into the worker problem.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from .plan import Allocation, ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .estimator import RuntimeEstimator
+
+__all__ = [
+    "BatchPlanState",
+    "PlanCodec",
+    "SharedTables",
+    "SharedTablesHandle",
+    "attach_shared_tables",
+    "batch_eval_mode",
+    "shared_tables_enabled",
+]
+
+
+def batch_eval_mode() -> str:
+    """``REPRO_BATCH_EVAL``: ``on`` / ``off`` / ``auto`` (default ``auto``)."""
+    raw = os.environ.get("REPRO_BATCH_EVAL", "auto").strip().lower()
+    return raw if raw in ("on", "off", "auto") else "auto"
+
+
+def shared_tables_enabled() -> bool:
+    """``REPRO_SHARED_TABLES``: shared-memory table shipping (default on)."""
+    return os.environ.get("REPRO_SHARED_TABLES", "on").strip().lower() != "off"
+
+
+_GROW_MIN = 16
+"""Minimum option-table capacity when growing the dynamic region."""
+
+_NO_CALL = np.iinfo(np.int64).max
+"""Sentinel first-cover call id for (model, GPU) pairs never covered."""
+
+#: Arrays shipped to worker processes (shared memory or pickled), in a fixed
+#: order so offsets are reproducible.  Everything else — key dicts, intern
+#: maps, reallocation value tables — is rebuilt deterministically from the
+#: option table on the other side.
+_SHIPPED_FIELDS = (
+    "dur",
+    "mem_static",
+    "mem_param",
+    "mem_active",
+    "span_lo",
+    "span_hi",
+    "layout_id",
+    "transfer_id",
+    "node_id",
+    "tp_pp_id",
+    "static_counts",
+    "transfer_val",
+)
+
+
+class BatchPlanState:
+    """Structure-of-arrays lookup tables for batched plan evaluation.
+
+    Built from an estimator (and, usually, the searcher's option table via
+    ``options``); allocations outside the primed universe — e.g. align-move
+    proposals borrowing another call's allocation — register lazily into a
+    process-local dynamic region.  All values come from the estimator's
+    memoised scalar functions, so batch and scalar paths cannot diverge.
+
+    Thread safety matches the estimator's memo caches: reads are lock-free,
+    registrations (the cold path) serialise on a small lock, and in-flight
+    evaluations keep working on the array objects they captured even if a
+    concurrent registration grows (replaces) the attributes.
+    """
+
+    def __init__(
+        self,
+        estimator: "RuntimeEstimator",
+        options: Optional[Mapping[str, Sequence[Allocation]]] = None,
+        _arrays: Optional[Dict[str, np.ndarray]] = None,
+        _shm_ref: Optional[object] = None,
+    ) -> None:
+        est = estimator
+        self._est = est
+        self._lock = threading.Lock()
+        n = len(est._call_names)
+        self.n_calls = n
+        cluster = est.cluster
+        self.n_gpus = cluster.n_gpus
+        self._rpc_overhead = float(cluster.rpc_overhead_s)
+        self._device_memory_bytes = float(cluster.device_memory_bytes)
+        # Per-call option tables (grown on demand).
+        self.capacity = 0
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.dur = np.zeros((n, 0))
+        self.mem_static = np.zeros((n, 0))
+        self.mem_param = np.zeros((n, 0))
+        self.mem_active = np.zeros((n, 0))
+        self.span_lo = np.zeros((n, 0), dtype=np.int64)
+        self.span_hi = np.zeros((n, 0), dtype=np.int64)
+        self.layout_id = np.zeros((n, 0), dtype=np.int64)
+        self.transfer_id = np.zeros((n, 0), dtype=np.int64)
+        self.node_id = np.zeros((n, 0), dtype=np.int64)
+        self.tp_pp_id = np.zeros((n, 0), dtype=np.int64)
+        self._writable = True
+        self._shm_ref = _shm_ref  # pins an attached shared-memory block
+        # Key -> index maps (per call) and the class-id intern maps.  The
+        # class ids are assigned in registration-encounter order, which makes
+        # a fresh prime over the same option table reproduce them exactly —
+        # the invariant that lets workers attach shipped arrays without
+        # shipping the maps themselves.
+        self.key_to_idx: List[Dict[Tuple, int]] = [dict() for _ in range(n)]
+        self.allocs: List[List[Allocation]] = [[] for _ in range(n)]
+        # Object-identity fast path for index_of: id(alloc) -> index, with a
+        # keepalive list so a collected allocation can never recycle an id
+        # that still maps to a stale index.
+        self._idx_memo: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._idx_keep: List[List[Allocation]] = [[] for _ in range(n)]
+        self._layout_ids: Dict[Tuple, int] = {}
+        self._transfer_ids: Dict[Tuple, int] = {}
+        self._node_ids: Dict[Tuple, int] = {}
+        self._tp_pp_ids: Dict[Tuple, int] = {}
+        # Reallocation edges (src call id, dst call id, model name) with one
+        # lazily NaN-filled value table [tp_pp classes, 2 (cross)] per edge.
+        self._realloc_edges: List[Tuple[int, int, str]] = []
+        for model_name, calls in est._model_calls.items():
+            if len(calls) < 2:
+                continue
+            sequence = calls + [calls[0]]
+            for src_call, dst_call in zip(sequence[:-1], sequence[1:]):
+                self._realloc_edges.append(
+                    (est._call_index[src_call], est._call_index[dst_call], model_name)
+                )
+        self._realloc_vals: List[np.ndarray] = [
+            np.full((0, 2), np.nan) for _ in self._realloc_edges
+        ]
+        # Per-call data-transfer seconds by cross-node bit, and graph edges.
+        self.transfer_val = np.array(
+            [
+                [est._transfer_seconds(name, False), est._transfer_seconds(name, True)]
+                for name in est._call_names
+            ]
+        ).reshape(n, 2)
+        self.edge_src = np.array(
+            [est._call_index[s] for s, _ in est._edges], dtype=np.int64
+        )
+        self.edge_dst = np.array(
+            [est._call_index[d] for _, d in est._edges], dtype=np.int64
+        )
+        order = np.lexsort((np.arange(len(self.edge_dst)), self.edge_dst))
+        self._edge_order = order
+        sorted_dst = self.edge_dst[order]
+        if len(order):
+            starts = np.flatnonzero(
+                np.r_[True, sorted_dst[1:] != sorted_dst[:-1]]
+            )
+            self._child_starts = starts
+            self._child_cols = sorted_dst[starts]
+        else:
+            self._child_starts = np.zeros(0, dtype=np.int64)
+            self._child_cols = np.zeros(0, dtype=np.int64)
+        # Simulation constants mirroring the scalar heap setup.
+        self._rank_of = np.array(est._rank_of, dtype=np.int64)
+        self._rank_to_id = np.array(est._rank_to_id, dtype=np.int64)
+        parent_mat = np.zeros((n, n))
+        for s, d in zip(self.edge_src, self.edge_dst):
+            parent_mat[s, d] += 1.0
+        self._parent_mat = parent_mat
+        self._indeg = parent_mat.sum(axis=0)
+        # Model ids in first-appearance order over the call list.
+        model_ids: Dict[str, int] = {}
+        for name in est._model_by_id:
+            model_ids.setdefault(name, len(model_ids))
+        self.n_models = len(model_ids)
+        self._model_of_call = np.array(
+            [model_ids[m] for m in est._model_by_id], dtype=np.int64
+        )
+        self._cols = np.arange(n)
+        self._gpu_ids = np.arange(self.n_gpus, dtype=np.int64)
+        self.static_counts: Optional[np.ndarray] = None
+
+        if _arrays is not None:
+            self._adopt_arrays(options or {}, _arrays)
+        elif options is not None:
+            self.prime(options)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    @property
+    def primed(self) -> bool:
+        """Whether the state was primed over a full option table."""
+        return self.static_counts is not None
+
+    def prime(self, options: Mapping[str, Sequence[Allocation]]) -> None:
+        """Register every allocation option, in deterministic table order.
+
+        The static region this creates is what ships to worker processes;
+        its indices (and the class-id intern maps) are a pure function of
+        the option table's order, so both sides agree without exchanging
+        the maps.
+        """
+        est = self._est
+        for call_id, name in enumerate(est._call_names):
+            for alloc in options.get(name, ()):
+                self.index_of(call_id, alloc)
+        self.static_counts = self.counts.copy()
+
+    def index_of(
+        self, call_id: int, alloc: Allocation, key: Optional[Tuple] = None
+    ) -> int:
+        """Dense option index of ``alloc`` for ``call_id`` (registering it
+        on first sight — the dynamic, process-local region)."""
+        memo = self._idx_memo[call_id]
+        idx = memo.get(id(alloc))
+        if idx is not None:
+            return idx
+        if key is None:
+            key = self._est._key_for(alloc)
+        idx = self.key_to_idx[call_id].get(key)
+        if idx is None:
+            idx = self._register(call_id, alloc, key)
+        memo[id(alloc)] = idx
+        self._idx_keep[call_id].append(alloc)
+        return idx
+
+    def _register(self, call_id: int, alloc: Allocation, key: Tuple) -> int:
+        with self._lock:
+            idx = self.key_to_idx[call_id].get(key)
+            if idx is not None:  # lost a benign registration race
+                return idx
+            self._ensure_writable()
+            idx = int(self.counts[call_id])
+            if idx >= self.capacity:
+                self._grow(idx + 1)
+            est = self._est
+            name = est._call_names[call_id]
+            self.dur[call_id, idx] = est.call_time(name, alloc)
+            call_static, param_bytes, call_active = est._mem_contrib(name, alloc)
+            self.mem_static[call_id, idx] = call_static
+            self.mem_param[call_id, idx] = param_bytes
+            self.mem_active[call_id, idx] = call_active
+            lo, hi = est._mesh_span(alloc.mesh)
+            self.span_lo[call_id, idx] = lo
+            self.span_hi[call_id, idx] = hi
+            self.layout_id[call_id, idx] = self._intern(self._layout_ids, key[:7])
+            self.transfer_id[call_id, idx] = self._intern(self._transfer_ids, key[:6])
+            self.node_id[call_id, idx] = self._intern(self._node_ids, key[:2])
+            tp_pp = self._intern(self._tp_pp_ids, (key[5], key[6]))
+            self.tp_pp_id[call_id, idx] = tp_pp
+            self._grow_realloc(tp_pp + 1)
+            self.allocs[call_id].append(alloc)
+            self.key_to_idx[call_id][key] = idx
+            self.counts[call_id] = idx + 1
+            return idx
+
+    @staticmethod
+    def _intern(table: Dict[Tuple, int], key: Tuple) -> int:
+        idx = table.get(key)
+        if idx is None:
+            idx = len(table)
+            table[key] = idx
+        return idx
+
+    def _grow(self, needed: int) -> None:
+        new_cap = max(needed, self.capacity * 2, _GROW_MIN)
+        extra = new_cap - self.capacity
+        n = self.n_calls
+
+        def pad(arr: np.ndarray, fill) -> np.ndarray:
+            block = np.full((n, extra), fill, dtype=arr.dtype)
+            return np.concatenate([arr, block], axis=1)
+
+        self.dur = pad(self.dur, 0.0)
+        self.mem_static = pad(self.mem_static, 0.0)
+        self.mem_param = pad(self.mem_param, 0.0)
+        self.mem_active = pad(self.mem_active, 0.0)
+        self.span_lo = pad(self.span_lo, 0)
+        self.span_hi = pad(self.span_hi, 0)
+        self.layout_id = pad(self.layout_id, -1)
+        self.transfer_id = pad(self.transfer_id, -1)
+        self.node_id = pad(self.node_id, -1)
+        self.tp_pp_id = pad(self.tp_pp_id, -1)
+        self.capacity = new_cap
+
+    def _grow_realloc(self, n_classes: int) -> None:
+        for i, table in enumerate(self._realloc_vals):
+            if len(table) < n_classes:
+                grown = np.full((max(n_classes, 2 * len(table)), 2), np.nan)
+                grown[: len(table)] = table
+                self._realloc_vals[i] = grown
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write for states attached to read-only shared memory."""
+        if self._writable:
+            return
+        for field in (
+            "dur", "mem_static", "mem_param", "mem_active",
+            "span_lo", "span_hi", "layout_id", "transfer_id",
+            "node_id", "tp_pp_id",
+        ):
+            setattr(self, field, getattr(self, field).copy())
+        self._writable = True
+        self._shm_ref = None
+
+    # ------------------------------------------------------------------ #
+    # Shipping (shared memory / pickled arrays)
+    # ------------------------------------------------------------------ #
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Static-region copies of the shipped tables (prime first)."""
+        if self.static_counts is None:
+            raise RuntimeError("cannot export an unprimed BatchPlanState")
+        cap = int(self.static_counts.max(initial=0))
+        out: Dict[str, np.ndarray] = {}
+        for field in _SHIPPED_FIELDS:
+            if field == "static_counts":
+                out[field] = self.static_counts.copy()
+            elif field == "transfer_val":
+                out[field] = np.ascontiguousarray(self.transfer_val)
+            else:
+                out[field] = np.ascontiguousarray(getattr(self, field)[:, :cap])
+        return out
+
+    def _adopt_arrays(
+        self,
+        options: Mapping[str, Sequence[Allocation]],
+        arrays: Dict[str, np.ndarray],
+    ) -> None:
+        """Rebuild the key/intern maps from ``options`` and take the shipped
+        numeric arrays as the static region (zero scalar-model calls)."""
+        est = self._est
+        counts = np.zeros(self.n_calls, dtype=np.int64)
+        for call_id, name in enumerate(est._call_names):
+            seen = self.key_to_idx[call_id]
+            for alloc in options.get(name, ()):
+                key = est._key_for(alloc)
+                if key in seen:
+                    continue
+                seen[key] = int(counts[call_id])
+                self.allocs[call_id].append(alloc)
+                self._intern(self._layout_ids, key[:7])
+                self._intern(self._transfer_ids, key[:6])
+                self._intern(self._node_ids, key[:2])
+                self._grow_realloc(
+                    self._intern(self._tp_pp_ids, (key[5], key[6])) + 1
+                )
+                counts[call_id] += 1
+        shipped_counts = np.asarray(arrays["static_counts"], dtype=np.int64)
+        if not np.array_equal(counts, shipped_counts):
+            raise ValueError(
+                "shipped batch tables do not match the option table "
+                f"(counts {shipped_counts.tolist()} != {counts.tolist()})"
+            )
+        for field in _SHIPPED_FIELDS:
+            if field in ("static_counts", "transfer_val"):
+                continue
+            setattr(self, field, arrays[field])
+        self.transfer_val = np.asarray(arrays["transfer_val"]).reshape(
+            self.n_calls, 2
+        )
+        self.counts = counts
+        self.static_counts = counts.copy()
+        self.capacity = self.dur.shape[1]
+        self._writable = False
+
+    # ------------------------------------------------------------------ #
+    # Plan encoding
+    # ------------------------------------------------------------------ #
+    def encode_plan(self, plan: ExecutionPlan) -> np.ndarray:
+        """Per-call option-index row of ``plan`` (registering lazily)."""
+        est = self._est
+        signature = est._plan_signature(plan)
+        row = np.empty(self.n_calls, dtype=np.int64)
+        for call_id, name in enumerate(est._call_names):
+            row[call_id] = self.index_of(call_id, plan[name], key=signature[call_id])
+        return row
+
+    # ------------------------------------------------------------------ #
+    # The kernel
+    # ------------------------------------------------------------------ #
+    def _fill_realloc(
+        self,
+        edge_pos: int,
+        src_id: int,
+        dst_id: int,
+        model: str,
+        idx: np.ndarray,
+        need: np.ndarray,
+    ) -> None:
+        """Lazily fill missing reallocation-value entries for one edge.
+
+        Values go through :meth:`RuntimeEstimator._realloc_seconds` (and its
+        memo), whose approximate-model key is exactly ``(model, dst tp,
+        dst pp, cross)`` — so any differing-layout row realising a missing
+        (class, cross) cell is a valid representative.  ``need`` masks the
+        rows whose layouts actually differ: equal-layout pairs never reach
+        ``_realloc_seconds`` on the scalar path (the model shortcuts
+        identical allocations to zero), so they must not seed the memo here
+        either.
+        """
+        est = self._est
+        with self._lock:
+            table = self._realloc_vals[edge_pos]
+            dst_idx = idx[:, dst_id]
+            classes = self.tp_pp_id[dst_id, dst_idx]
+            cross = (
+                self.node_id[src_id, idx[:, src_id]]
+                != self.node_id[dst_id, dst_idx]
+            ).astype(np.int64)
+            missing = np.flatnonzero(need & np.isnan(table[classes, cross]))
+            for b in missing:
+                cls, crs = int(classes[b]), int(cross[b])
+                if not np.isnan(table[cls, crs]):
+                    continue
+                src_alloc = self.allocs[src_id][int(idx[b, src_id])]
+                dst_alloc = self.allocs[dst_id][int(idx[b, dst_id])]
+                table[cls, crs] = est._realloc_seconds(model, src_alloc, dst_alloc)
+
+    def evaluate(self, idx: np.ndarray, oom_penalty: float) -> np.ndarray:
+        """Scores of a ``[B, n_calls]`` option-index matrix, one per row.
+
+        Bit-identical to ``cost()`` of the corresponding plans: the same
+        table values, combined in the same order — see the module docstring
+        for the exact correspondence argument.
+        """
+        B, n = idx.shape
+        if n == 0 or B == 0:
+            return np.zeros(B)
+        cols = self._cols
+        dur = self.dur[cols, idx]
+        lo = self.span_lo[cols, idx]
+        hi = self.span_hi[cols, idx]
+        layout = self.layout_id[cols, idx]
+        transf = self.transfer_id[cols, idx]
+        node = self.node_id[cols, idx]
+
+        # Reallocation seconds charged per call (destination side).
+        realloc_in = np.zeros((B, n))
+        for pos, (s, d, model) in enumerate(self._realloc_edges):
+            layout_eq = layout[:, s] == layout[:, d]
+            classes = self.tp_pp_id[d, idx[:, d]]
+            cross = (node[:, s] != node[:, d]).astype(np.int64)
+            vals = self._realloc_vals[pos][classes, cross]
+            need = ~layout_eq
+            if np.isnan(vals[need]).any():
+                self._fill_realloc(pos, s, d, model, idx, need)
+                vals = self._realloc_vals[pos][classes, cross]
+            realloc_in[:, d] = np.where(layout_eq, 0.0, vals)
+
+        # Data-transfer seconds per graph edge.
+        E = len(self.edge_src)
+        if E:
+            es, ed = self.edge_src, self.edge_dst
+            tv = self.transfer_val[ed]  # [E, 2]
+            cross_e = node[:, es] != node[:, ed]
+            tvals = np.where(cross_e, tv[:, 1], tv[:, 0])
+            trans = np.where(transf[:, es] == transf[:, ed], 0.0, tvals)
+        else:
+            trans = np.zeros((B, 0))
+
+        # Lock-step Algorithm-1 simulation: every row completes exactly one
+        # call per step; the frontier pick is min (ready_time, rank) over
+        # ready calls — the scalar heap's exact ordering.
+        gpu_ids = self._gpu_ids
+        cover = (gpu_ids >= lo[:, :, None]) & (gpu_ids < hi[:, :, None])
+        rows = np.arange(B)
+        ready = np.zeros((B, n))
+        done = np.zeros((B, n))
+        gpu_free = np.zeros((B, self.n_gpus))
+        total = np.zeros(B)
+        rank_of, rank_to_id = self._rank_of, self._rank_to_id
+        parent_mat, indeg = self._parent_mat, self._indeg
+        rpc = self._rpc_overhead
+        for _ in range(n):
+            parents_done = done @ parent_mat
+            avail = (parents_done == indeg) & (done == 0.0)
+            ready_m = np.where(avail, ready, np.inf)
+            min_ready = ready_m.min(axis=1)
+            cand = avail & (ready_m == min_ready[:, None])
+            chosen = rank_to_id[np.where(cand, rank_of, n).min(axis=1)]
+            covered = cover[rows, chosen]
+            mesh_free = np.where(covered, gpu_free, -np.inf).max(axis=1)
+            start = np.maximum(min_ready, mesh_free)
+            end = start + dur[rows, chosen]
+            end = end + realloc_in[rows, chosen]
+            end = end + rpc
+            total = np.maximum(total, end)
+            done[rows, chosen] = 1.0
+            gpu_free = np.where(covered, end[:, None], gpu_free)
+            if E:
+                upd = np.where(
+                    self.edge_src == chosen[:, None], end[:, None] + trans, -np.inf
+                )
+                grouped = np.maximum.reduceat(
+                    upd[:, self._edge_order], self._child_starts, axis=1
+                )
+                cc = self._child_cols
+                ready[:, cc] = np.maximum(ready[:, cc], grouped)
+
+        # MaxMem: per-GPU totals combined exactly like _aggregate_memory —
+        # static bytes summed in ascending call-id order, the per-model
+        # parameter maxima summed in first-seen order, active bytes maxed.
+        ms = self.mem_static[cols, idx]
+        mp = self.mem_param[cols, idx]
+        ma = self.mem_active[cols, idx]
+        G = self.n_gpus
+        static_pg = np.zeros((B, G))
+        active_pg = np.zeros((B, G))
+        pmax = np.full((B, self.n_models, G), -np.inf)
+        first = np.full((B, self.n_models, G), _NO_CALL, dtype=np.int64)
+        model_of = self._model_of_call
+        for c in range(n):
+            cov = cover[:, c, :]
+            # Masked accumulate via bool multiply: uncovered cells see
+            # ``x + 0.0`` / ``max(x, 0.0)``, both identity for the
+            # non-negative byte counts involved — bit-identical to the
+            # three-operand np.where form, one array pass cheaper.
+            static_pg += ms[:, c, None] * cov
+            np.maximum(active_pg, ma[:, c, None] * cov, out=active_pg)
+            m = model_of[c]
+            pmax[:, m, :] = np.where(
+                cov, np.maximum(pmax[:, m, :], mp[:, c, None]), pmax[:, m, :]
+            )
+            first[:, m, :] = np.where(
+                cov & (first[:, m, :] == _NO_CALL), c, first[:, m, :]
+            )
+        order = np.argsort(first, axis=1, kind="stable")
+        b_ix = rows[:, None, None]
+        g_ix = self._gpu_ids[None, None, :]
+        pmax_sorted = pmax[b_ix, order, g_ix]
+        first_sorted = first[b_ix, order, g_ix]
+        param_sum = np.zeros((B, G))
+        for j in range(self.n_models):
+            present = first_sorted[:, j, :] != _NO_CALL
+            param_sum = param_sum + np.where(present, pmax_sorted[:, j, :], 0.0)
+        per_gpu = (static_pg + param_sum) + active_pg
+        max_bytes = per_gpu.max(axis=1, initial=0.0)
+        return np.where(
+            max_bytes < self._device_memory_bytes, total, oom_penalty * total
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Plan codec: compact cross-process plan encoding
+# ---------------------------------------------------------------------- #
+class PlanCodec:
+    """Encode plans as per-call option indices over a shared allocation universe.
+
+    Both sides of a worker round-trip build the codec from the same option
+    table (which already ships with :class:`ChainProblem`), so an encoded
+    plan is just ``(name, tuple_of_ints)`` — the "chain-local scalars" a
+    per-poll :class:`ChainState` round-trip should carry instead of full
+    ``Allocation`` object graphs.  Plans containing an allocation outside
+    the universe (possible after align moves across calls with disjoint
+    option tables) simply stay unencoded; the codec is an optimisation, not
+    a requirement.
+    """
+
+    def __init__(
+        self,
+        call_names: Sequence[str],
+        options: Mapping[str, Sequence[Allocation]],
+    ) -> None:
+        from .estimator import RuntimeEstimator
+
+        self._names = list(call_names)
+        self._key = RuntimeEstimator._alloc_key
+        self._by_key: Dict[Tuple, int] = {}
+        self._allocs: List[Allocation] = []
+        for name in self._names:
+            for alloc in options.get(name, ()):
+                key = self._key(alloc)
+                if key not in self._by_key:
+                    self._by_key[key] = len(self._allocs)
+                    self._allocs.append(alloc)
+
+    def encode(self, plan: ExecutionPlan) -> Optional[Tuple[str, Tuple[int, ...]]]:
+        by_key, key = self._by_key, self._key
+        try:
+            gids = tuple(by_key[key(plan[name])] for name in self._names)
+        except KeyError:
+            return None
+        return (plan.name, gids)
+
+    def decode(self, encoded: Tuple[str, Tuple[int, ...]]) -> ExecutionPlan:
+        name, gids = encoded
+        allocs = self._allocs
+        return ExecutionPlan(
+            {call: allocs[gid] for call, gid in zip(self._names, gids)}, name=name
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory table shipping
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedTablesHandle:
+    """Picklable descriptor of one exported shared-memory table block."""
+
+    shm_name: str
+    specs: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+    """Per array: (field name, shape, dtype string, byte offset)."""
+    total_bytes: int
+
+
+class SharedTables:
+    """Parent-side owner of one exported shared-memory table block.
+
+    ``export`` copies a primed state's static tables into a single
+    ``multiprocessing.shared_memory`` block and returns the owner (or
+    ``None`` on any failure — callers fall back to pickling).  The parent
+    must keep the owner alive until every worker has attached, then
+    :meth:`close` unlinks the block.
+    """
+
+    def __init__(self, shm: object, handle: SharedTablesHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+
+    @classmethod
+    def export(cls, state: BatchPlanState) -> Optional["SharedTables"]:
+        try:
+            from multiprocessing import shared_memory
+
+            arrays = state.export_arrays()
+            specs: List[Tuple[str, Tuple[int, ...], str, int]] = []
+            offset = 0
+            for field in _SHIPPED_FIELDS:
+                arr = arrays[field]
+                specs.append((field, tuple(arr.shape), arr.dtype.str, offset))
+                offset += arr.nbytes
+            shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+            for (field, shape, dtype, off) in specs:
+                arr = arrays[field]
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+                view[...] = arr
+            handle = SharedTablesHandle(
+                shm_name=shm.name, specs=tuple(specs), total_bytes=offset
+            )
+            return cls(shm, handle)
+        except (OSError, ValueError, ImportError, RuntimeError):
+            return None
+
+    def close(self, unlink: bool = True) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+            if unlink:
+                shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def attach_shared_tables(
+    handle: SharedTablesHandle,
+) -> Tuple[Dict[str, np.ndarray], object]:
+    """Read-only numpy views over an exported table block.
+
+    Returns ``(arrays, shm)``; the caller must keep ``shm`` referenced for
+    as long as the views are used.  Raises on any failure — callers treat
+    that as "rebuild locally".
+    """
+    from multiprocessing import shared_memory
+
+    # Attaching registers the segment with the resource tracker on
+    # Python < 3.13 (no ``track=False``), which would unlink it once per
+    # worker exit even though the parent owns the lifecycle — and under
+    # ``fork`` all workers share the parent's tracker, so the interleaved
+    # register/unregister messages race into tracker warnings.  Suppress
+    # the registration for the duration of the attach instead.
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+    except Exception:  # pragma: no cover - tracker internals vary
+        resource_tracker = None
+        original_register = None
+    try:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+    finally:
+        if original_register is not None:
+            resource_tracker.register = original_register
+    arrays: Dict[str, np.ndarray] = {}
+    for field, shape, dtype, offset in handle.specs:
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[field] = view
+    return arrays, shm
+
+
+def attach_batch_state(
+    estimator: "RuntimeEstimator",
+    options: Mapping[str, Sequence[Allocation]],
+    shipment: object,
+) -> BatchPlanState:
+    """Build a :class:`BatchPlanState` from a shipped table payload.
+
+    ``shipment`` is either ``("shm", SharedTablesHandle)`` or
+    ``("arrays", dict_of_ndarrays)`` (the pickled fallback).  Raises on any
+    mismatch; callers fall back to a local lazy build.
+    """
+    kind, payload = shipment
+    if kind == "shm":
+        arrays, shm = attach_shared_tables(payload)
+        return BatchPlanState(estimator, options, _arrays=arrays, _shm_ref=shm)
+    if kind == "arrays":
+        return BatchPlanState(estimator, options, _arrays=dict(payload))
+    raise ValueError(f"unknown batch-table shipment kind: {kind!r}")

@@ -22,7 +22,7 @@ The observability layer every subsystem reports through:
   artifact writers resolve their output paths through.
 """
 
-from .artifacts import artifact_dir, artifact_path
+from .artifacts import artifact_dir, artifact_path, machine_fingerprint
 from .export import (
     SNAPSHOT_SCHEMA_VERSION,
     record_counter_tracks,
@@ -83,6 +83,7 @@ __all__ = [
     "record_counter_tracks",
     "artifact_dir",
     "artifact_path",
+    "machine_fingerprint",
     "tracing_enabled",
     "SpanContext",
     "SpanRecord",

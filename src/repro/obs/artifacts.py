@@ -13,10 +13,11 @@ resolves relative baseline/current paths against the same directory.
 from __future__ import annotations
 
 import os
+import platform
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
-__all__ = ["artifact_dir", "artifact_path"]
+__all__ = ["artifact_dir", "artifact_path", "machine_fingerprint"]
 
 
 def artifact_dir(default: Union[str, Path] = ".") -> Path:
@@ -43,3 +44,37 @@ def artifact_path(name: Union[str, Path], default_dir: Union[str, Path] = ".") -
     if name.is_absolute():
         return name
     return artifact_dir(default_dir) / name
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """The machine identity block benchmark reports embed.
+
+    One shared implementation so every ``BENCH_*.json`` records the same
+    fields the same way — historically each benchmark hand-rolled its own
+    dict and recorded only ``os.cpu_count()``, which made a report with
+    ``parallel_workers: 4`` but ``cores: 1`` impossible to interpret.
+
+    * ``cores`` — ``os.cpu_count()``: the machine's logical core count;
+    * ``usable_cores`` — the scheduler-affinity mask size, which is what a
+      containerised run can actually use (falls back to ``cores``);
+    * ``core_budget`` — the effective ``CoreBudget`` total: the
+      ``REPRO_CORE_BUDGET`` override when set, else ``cores`` (computed
+      from the environment directly — ``repro.obs`` stays import-free of
+      ``repro.core``).
+    """
+    cores = os.cpu_count() or 1
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        usable = cores
+    try:
+        budget = int(float(os.environ.get("REPRO_CORE_BUDGET", "0") or "0"))
+    except ValueError:
+        budget = 0
+    return {
+        "cores": cores,
+        "usable_cores": usable,
+        "core_budget": budget if budget > 0 else cores,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
