@@ -28,7 +28,7 @@ import argparse
 import json
 import time
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.algorithms import build_ppo_graph
 from repro.cluster import make_cluster
@@ -97,31 +97,58 @@ def _engine_throughput(smoke: bool) -> Dict[str, float]:
     }
 
 
-def _schedule_events_rate(smoke: bool) -> Dict[str, float]:
+def _schedule_events_rate(
+    smoke: bool,
+    n_jobs: Optional[int] = None,
+    n_gpus: Optional[int] = None,
+    horizon_s: Optional[float] = None,
+) -> Dict[str, float]:
     """Kernel events/sec of a cache-warm trace-driven schedule.
 
     The first run pays the plan searches and engine profiles; the second run
-    reuses the shared service cache and measures the event loop itself.
+    reuses the shared service cache and measures the event loop itself.  Any
+    of the ``--jobs/--gpus/--horizon`` scale flags switches the scenario from
+    the legacy hand-rolled job list to a synthetic fleet trace
+    (:mod:`repro.capacity.fleet`) under the fleet scheduler preset, so one
+    harness drives both the small golden scenario and fleet-scale runs.
     """
-    jobs = [
-        JobSpec(
-            name=f"job-{i}",
-            algorithm="grpo" if i % 2 else "ppo",
-            batch_size=64,
-            target_iterations=4 if smoke else 12,
-            min_gpus=8,
-            max_gpus=16,
+    scaled = n_jobs is not None or n_gpus is not None or horizon_s is not None
+    if scaled:
+        from repro.capacity import (
+            FleetTraceConfig,
+            fleet_scheduler_config,
+            generate_fleet_trace,
         )
-        for i in range(4 if smoke else 8)
-    ]
-    cluster = make_cluster(32 if smoke else 64)
-    config = SchedulerConfig(
-        search=SearchConfig(
-            max_iterations=60 if smoke else 200,
-            time_budget_s=1.0,
-            record_history=False,
+
+        jobs = generate_fleet_trace(
+            FleetTraceConfig(
+                n_jobs=n_jobs if n_jobs is not None else 100,
+                horizon_s=horizon_s if horizon_s is not None else 7200.0,
+                seed=7,
+            )
         )
-    )
+        cluster = make_cluster(n_gpus if n_gpus is not None else 256)
+        config = fleet_scheduler_config()
+    else:
+        jobs = [
+            JobSpec(
+                name=f"job-{i}",
+                algorithm="grpo" if i % 2 else "ppo",
+                batch_size=64,
+                target_iterations=4 if smoke else 12,
+                min_gpus=8,
+                max_gpus=16,
+            )
+            for i in range(4 if smoke else 8)
+        ]
+        cluster = make_cluster(32 if smoke else 64)
+        config = SchedulerConfig(
+            search=SearchConfig(
+                max_iterations=60 if smoke else 200,
+                time_budget_s=1.0,
+                record_history=False,
+            )
+        )
     with PlanService(max_workers=4, estimator_cache_size=32) as service:
         schedule_trace(cluster, jobs, policy="first_fit", config=config, service=service)
         started = time.perf_counter()
@@ -150,9 +177,14 @@ def _metric(value: float, higher_is_better: bool) -> Dict[str, object]:
     return {"value": value, "higher_is_better": higher_is_better}
 
 
-def run_benchmark(smoke: bool = False) -> Dict[str, object]:
+def run_benchmark(
+    smoke: bool = False,
+    n_jobs: Optional[int] = None,
+    n_gpus: Optional[int] = None,
+    horizon_s: Optional[float] = None,
+) -> Dict[str, object]:
     engine = _engine_throughput(smoke)
-    schedule = _schedule_events_rate(smoke)
+    schedule = _schedule_events_rate(smoke, n_jobs=n_jobs, n_gpus=n_gpus, horizon_s=horizon_s)
     return {
         "benchmark": "runtime_trace",
         "mode": "smoke" if smoke else "full",
@@ -229,11 +261,31 @@ def main(argv=None) -> int:
             "— smoke numbers never overwrite the committed full baseline)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="scale mode: replay a synthetic fleet trace with this many jobs",
+    )
+    parser.add_argument(
+        "--gpus",
+        type=int,
+        default=None,
+        help="scale mode: cluster size in GPUs for the schedule scenario",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="scale mode: fleet trace arrival horizon in seconds",
+    )
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
         output = _artifact(SMOKE_OUTPUT if args.smoke else DEFAULT_OUTPUT)
-    report = run_benchmark(smoke=args.smoke)
+    report = run_benchmark(
+        smoke=args.smoke, n_jobs=args.jobs, n_gpus=args.gpus, horizon_s=args.horizon
+    )
     _print(report)
     _check(report)
     write_report(report, output)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster import make_cluster
 from repro.core import SearchConfig
@@ -85,12 +85,49 @@ def _config(smoke: bool, seed: int = 0) -> SchedulerConfig:
     return SchedulerConfig(search=budget)
 
 
-def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
-    n_gpus = 64 if smoke else 128
-    n_jobs = 8 if smoke else 12
-    cluster = make_cluster(n_gpus)
-    jobs = _trace(n_jobs, seed=seed)
-    config = _config(smoke, seed=seed)
+def run_benchmark(
+    smoke: bool = True,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+    n_gpus: Optional[int] = None,
+    horizon_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """Policy comparison (+ failure injection on the hand-rolled trace).
+
+    Passing any of ``n_jobs``/``n_gpus``/``horizon_s`` switches to *scale
+    mode*: a synthetic fleet trace (:mod:`repro.capacity.fleet`) under the
+    fleet scheduler preset, comparing only the elastic packing policies
+    (static equal partitioning cannot host a fleet-sized job mix, and the
+    failure-injection scenario stays on the small golden trace).
+    """
+    scaled = n_jobs is not None or n_gpus is not None or horizon_s is not None
+    if scaled:
+        from repro.capacity import FleetTraceConfig, fleet_scheduler_config, generate_fleet_trace
+
+        n_gpus = n_gpus if n_gpus is not None else 256
+        n_jobs = n_jobs if n_jobs is not None else 100
+        cluster = make_cluster(n_gpus)
+        jobs = generate_fleet_trace(
+            FleetTraceConfig(
+                n_jobs=n_jobs,
+                horizon_s=horizon_s if horizon_s is not None else 7200.0,
+                seed=seed,
+            )
+        )
+        config = fleet_scheduler_config()
+        policies: List[object] = ["first_fit", "best_throughput"]
+    else:
+        n_gpus = 64 if smoke else 128
+        n_jobs = 8 if smoke else 12
+        cluster = make_cluster(n_gpus)
+        jobs = _trace(n_jobs, seed=seed)
+        config = _config(smoke, seed=seed)
+        policies = [
+            StaticEqualPolicy(n_slots=cluster.n_nodes),
+            "first_fit",
+            "priority",
+            "best_throughput",
+        ]
 
     # --- Policy comparison, sharing one plan service (and thus one cache:
     # --- same-shaped partitions are exact hits across policies).
@@ -99,12 +136,7 @@ def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
         reports = run_scheduler_comparison(
             cluster,
             jobs,
-            policies=[
-                StaticEqualPolicy(n_slots=cluster.n_nodes),
-                "first_fit",
-                "priority",
-                "best_throughput",
-            ],
+            policies=policies,
             config=config,
             plan_service=service,
         )
@@ -114,17 +146,20 @@ def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
     by_policy = {report.policy: report for report in reports}
 
     # --- Failure injection on a fresh service, so cold vs. warm-started
-    # --- replan search times are measured from scratch.
-    failure = NodeFailure(time=60.0, node=1, recovery_time=200.0)
-    with PlanService(max_workers=4, estimator_cache_size=32) as fail_service:
-        failure_report = schedule_trace(
-            cluster=cluster,
-            jobs=jobs,
-            policy="best_throughput",
-            config=config,
-            service=fail_service,
-            failures=[failure],
-        )
+    # --- replan search times are measured from scratch.  Skipped in scale
+    # --- mode: the failure scenario is part of the small golden comparison.
+    failure_report = None
+    if not scaled:
+        failure = NodeFailure(time=60.0, node=1, recovery_time=200.0)
+        with PlanService(max_workers=4, estimator_cache_size=32) as fail_service:
+            failure_report = schedule_trace(
+                cluster=cluster,
+                jobs=jobs,
+                policy="best_throughput",
+                config=config,
+                service=fail_service,
+                failures=[failure],
+            )
 
     return {
         "reports": reports,
@@ -133,15 +168,22 @@ def run_benchmark(smoke: bool = True, seed: int = 0) -> Dict[str, object]:
         "failure_report": failure_report,
         "n_gpus": n_gpus,
         "n_jobs": n_jobs,
+        "scaled": scaled,
     }
 
 
 def _check(results: Dict[str, object]) -> None:
     by_policy = results["by_policy"]
-    static = by_policy["static_equal"]
-    packing = by_policy["best_throughput"]
     for report in results["reports"]:
         assert report.all_completed, f"{report.policy} left jobs incomplete"
+    if results["scaled"]:
+        # Scale mode: both elastic policies must finish the fleet trace and
+        # deliver work; there is no static baseline or failure scenario.
+        for policy in ("first_fit", "best_throughput"):
+            assert by_policy[policy].total_iterations > 0
+        return
+    static = by_policy["static_equal"]
+    packing = by_policy["best_throughput"]
     # The packing policy must beat naive static equal partitioning on
     # aggregate iterations/sec.
     assert (
@@ -180,20 +222,21 @@ def _print(results: Dict[str, object]) -> None:
         )
     )
     failure_report = results["failure_report"]
-    cold = failure_report.cold_searches
-    replan = failure_report.replan_searches
-    print(
-        format_table(
-            [
-                {
-                    **failure_report.summary_row(),
-                    "cold search (ms)": round(cold.mean_seconds * 1e3, 1),
-                    "replan search (ms)": round(replan.mean_seconds * 1e3, 1),
-                }
-            ],
-            title="Failure injection (node down + recovery), best_throughput",
+    if failure_report is not None:
+        cold = failure_report.cold_searches
+        replan = failure_report.replan_searches
+        print(
+            format_table(
+                [
+                    {
+                        **failure_report.summary_row(),
+                        "cold search (ms)": round(cold.mean_seconds * 1e3, 1),
+                        "replan search (ms)": round(replan.mean_seconds * 1e3, 1),
+                    }
+                ],
+                title="Failure injection (node down + recovery), best_throughput",
+            )
         )
-    )
     print(f"shared service stats: {results['service_stats']}")
 
 
@@ -218,10 +261,41 @@ def main(argv=None) -> int:
         default=0,
         help="seed for trace generation and plan search: same seed, same run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="scale mode: compare policies on a synthetic fleet trace with this many jobs",
+    )
+    parser.add_argument(
+        "--gpus",
+        type=int,
+        default=None,
+        help="scale mode: cluster size in GPUs",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="scale mode: fleet trace arrival horizon in seconds",
+    )
     args = parser.parse_args(argv)
-    results = run_benchmark(smoke=args.smoke, seed=args.seed)
+    results = run_benchmark(
+        smoke=args.smoke,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        n_gpus=args.gpus,
+        horizon_s=args.horizon,
+    )
     _check(results)
     _print(results)
+    if results["scaled"]:
+        packing = results["by_policy"]["best_throughput"]
+        print(
+            f"\nOK: fleet trace of {results['n_jobs']} jobs completed on "
+            f"{results['n_gpus']} GPUs ({packing.total_iterations:.0f} iterations)"
+        )
+        return 0
     packing = results["by_policy"]["best_throughput"]
     static = results["by_policy"]["static_equal"]
     speedup = (

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Capacity what-if: which cluster should host next quarter's RLHF fleet?
+
+This example generates a synthetic fleet trace (Poisson arrivals with a
+diurnal day/night swing, drawn from a weighted mix of recurring RLHF job
+types) and replays the *same* trace against a grid of candidate cluster
+shapes × prices.  All candidates share one PlanService, so a (job type,
+partition shape) searched for the first candidate is a warm cache hit for
+every later one — the whole grid costs little more than its first replay.
+
+Each candidate is priced as provisioned cost (GPUs × makespan × $/GPU-hour)
+against delivered throughput (completed RLHF iterations per hour); the
+report's frontier lists the Pareto-optimal choices, and ``--report`` writes
+the machine-readable JSON a planning dashboard would ingest.
+
+Run with::
+
+    python examples/capacity_whatif.py [--jobs 24] [--horizon 3600] \
+        [--report CAPACITY_report.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.capacity import (
+    CapacityCandidate,
+    FleetTraceConfig,
+    capacity_whatif,
+    generate_fleet_trace,
+)
+from repro.experiments import format_table
+
+
+def build_candidates(n_gpus: int) -> list:
+    """Six candidates: three sizes × (on-demand, discounted spot) pricing."""
+    sizes = (max(16, n_gpus // 4), max(32, n_gpus // 2), n_gpus)
+    candidates = []
+    for size in dict.fromkeys(sizes):  # dedup while keeping order
+        candidates.append(
+            CapacityCandidate(name=f"{size}g", n_gpus=size, cost_per_gpu_hour=2.0)
+        )
+        candidates.append(
+            CapacityCandidate(
+                name=f"{size}g-spot", n_gpus=size, cost_per_gpu_hour=1.2
+            )
+        )
+    return candidates
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Replay one fleet trace against a cluster-shape grid"
+    )
+    parser.add_argument("--jobs", type=int, default=24, help="fleet trace size")
+    parser.add_argument(
+        "--horizon", type=float, default=3600.0, help="arrival window (virtual s)"
+    )
+    parser.add_argument("--gpus", type=int, default=64, help="largest candidate size")
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument(
+        "--report", default=None, help="write the machine-readable report here"
+    )
+    args = parser.parse_args()
+
+    trace = generate_fleet_trace(
+        FleetTraceConfig(n_jobs=args.jobs, horizon_s=args.horizon, seed=args.seed)
+    )
+    print(f"fleet trace: {len(trace)} jobs over {args.horizon:.0f}s "
+          f"(first: {trace[0].name}, last: {trace[-1].name})")
+
+    candidates = build_candidates(args.gpus)
+    report = capacity_whatif(trace, candidates)
+
+    rows = []
+    for outcome in report.outcomes:
+        rows.append(
+            {
+                "candidate": outcome.name,
+                "jobs": f"{outcome.n_completed}/{outcome.n_jobs}"
+                + (f" (+{outcome.n_skipped} too big)" if outcome.n_skipped else ""),
+                "makespan (h)": round(outcome.makespan_s / 3600.0, 2),
+                "iters/h": round(outcome.iterations_per_hour, 1),
+                "cost ($)": round(outcome.provisioned_cost, 2),
+                "$/1k iters": round(outcome.cost_per_1k_iterations, 2),
+                "frontier": "*" if outcome.name in report.frontier else "",
+            }
+        )
+    print()
+    print(format_table(rows, title="Capacity what-if grid"))
+    print(f"\nPareto frontier: {', '.join(report.frontier)}")
+
+    if args.report:
+        path = report.save(args.report)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Fleet-scale capacity planning: synthetic traces and what-if replay grids.
+
+This package turns the fast scheduler replay loop into a planning tool:
+:mod:`repro.capacity.fleet` generates deterministic synthetic fleet traces
+(thousands of jobs, Poisson arrivals, diurnal load), and
+:mod:`repro.capacity.whatif` replays one trace against a grid of candidate
+cluster shapes × policies, emitting a machine-readable cost/throughput
+frontier report.
+"""
+
+from .fleet import (
+    DEFAULT_JOB_TYPES,
+    FleetJobType,
+    FleetTraceConfig,
+    fleet_scheduler_config,
+    generate_fleet_trace,
+)
+from .whatif import CapacityCandidate, CandidateOutcome, CapacityReport, capacity_whatif
+
+__all__ = [
+    "DEFAULT_JOB_TYPES",
+    "FleetJobType",
+    "FleetTraceConfig",
+    "fleet_scheduler_config",
+    "generate_fleet_trace",
+    "CapacityCandidate",
+    "CandidateOutcome",
+    "CapacityReport",
+    "capacity_whatif",
+]

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..runtime.engine import IterationTrace
+    from ..capacity.whatif import CapacityCandidate, CapacityReport
     from ..sched.metrics import ScheduleReport
     from ..sched.scheduler import NodeFailure, SchedulerConfig
     from ..service.server import PlanService
@@ -38,6 +39,7 @@ __all__ = [
     "find_execution_plan",
     "run_iteration_trace",
     "schedule_jobs",
+    "capacity_whatif",
 ]
 
 # Aliases matching the paper's API surface.
@@ -347,3 +349,32 @@ def schedule_jobs(
         trace_path=trace_path,
         metrics_path=metrics_path,
     )
+
+
+def capacity_whatif(
+    jobs: Sequence["object"],
+    candidates: Sequence["CapacityCandidate"],
+    config: Optional["SchedulerConfig"] = None,
+    service: Optional["PlanService"] = None,
+    report_path: Optional[str] = None,
+) -> "CapacityReport":
+    """One-call capacity what-if: replay a job trace against a cluster grid.
+
+    ``jobs`` is a sequence of :class:`~repro.sched.job.JobSpec` objects (for
+    fleet-sized traces, see
+    :func:`~repro.capacity.fleet.generate_fleet_trace`); ``candidates`` is
+    the grid of :class:`~repro.capacity.whatif.CapacityCandidate` cluster
+    shapes × policies to compare.  Every candidate replays the same trace
+    through one shared :class:`~repro.service.server.PlanService` — carved
+    partition specs are location- and parent-size-erased, so plans searched
+    for the first candidate are cache hits for the rest.  Returns the
+    :class:`~repro.capacity.whatif.CapacityReport` with per-candidate
+    outcomes and the Pareto cost/throughput ``frontier``; ``report_path``
+    additionally writes the machine-readable report JSON there.
+    """
+    from ..capacity.whatif import capacity_whatif as _capacity_whatif
+
+    report = _capacity_whatif(jobs, candidates, config=config, service=service)
+    if report_path is not None:
+        report.save(report_path)
+    return report

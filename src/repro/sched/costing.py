@@ -69,11 +69,19 @@ class PlanCosting:
         replan_search: SearchConfig,
         prune: PruneConfig = PruneConfig(),
         registry: Optional[MetricsRegistry] = None,
+        memoize: bool = False,
     ) -> None:
         self.service = service
         self.search = search
         self.replan_search = replan_search
         self.prune = prune
+        self.memoize = memoize
+        # (job planning identity, partition shape, replan?) → scored result.
+        # The memo mirrors the service's exact-key cache — identical keys pose
+        # byte-identical planning problems — but answers without a service
+        # round trip (fingerprinting, locks, plan deserialization).  Gated off
+        # by default because hits bypass the service's request statistics.
+        self._memo: Dict[tuple, Tuple[Optional[ExecutionPlan], float, bool]] = {}
         self.candidates_scored = 0
         self._cold: List[RequestStats] = []
         self._replan: List[RequestStats] = []
@@ -114,6 +122,20 @@ class PlanCosting:
     def _is_replan(job: Job) -> bool:
         return job.first_started_at is not None
 
+    def _memo_key(self, job: Job, partition: Partition) -> tuple:
+        spec = job.spec
+        return (
+            spec.algorithm.lower(),
+            spec.actor_size,
+            spec.critic_size,
+            spec.batch_size,
+            spec.prompt_len,
+            spec.gen_len,
+            spec.n_ppo_minibatches,
+            partition.shape,
+            self._is_replan(job),
+        )
+
     def score(self, pairs: Sequence[Tuple[Job, Partition]]) -> List[Candidate]:
         """Score one *wave* of candidates; infeasible/failed ones stay in place.
 
@@ -123,9 +145,47 @@ class PlanCosting:
         one overlapped wave — policies batch every candidate of a scheduling
         decision into a single call, and the wave's wall-clock time is the
         decision's plan-costing latency (see :attr:`wave_stats`).
+
+        With :attr:`memoize` on, previously scored (job type, shape, replan?)
+        keys answer from the in-process memo (a :class:`Candidate` without
+        request stats) and only novel keys go through the service wave; the
+        returned list stays positional either way.
         """
         if not pairs:
             return []
+        if not self.memoize:
+            return self._score_wave(list(pairs))
+        out: List[Optional[Candidate]] = [None] * len(pairs)
+        misses: List[Tuple[int, tuple]] = []
+        for index, (job, partition) in enumerate(pairs):
+            key = self._memo_key(job, partition)
+            hit = self._memo.get(key)
+            if hit is None:
+                misses.append((index, key))
+                continue
+            plan, cost, feasible = hit
+            self.candidates_scored += 1
+            self._m_candidates.inc()
+            out[index] = Candidate(
+                job=job,
+                partition=partition,
+                plan=plan,
+                seconds_per_iteration=cost,
+                feasible=feasible,
+            )
+        if misses:
+            scored = self._score_wave([pairs[index] for index, _key in misses])
+            for (index, key), candidate in zip(misses, scored):
+                self._memo[key] = (
+                    candidate.plan,
+                    candidate.seconds_per_iteration,
+                    candidate.feasible,
+                )
+                out[index] = candidate
+        return out  # type: ignore[return-value]
+
+    def _score_wave(self, pairs: Sequence[Tuple[Job, Partition]]) -> List[Candidate]:
+        """One overlapped service wave (the un-memoized scoring path)."""
         wave_started = time.perf_counter()
         # The wave span is the root of each decision's causal tree: requests
         # submitted inside it carry its context onto the service, so every

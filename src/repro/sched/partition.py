@@ -11,15 +11,20 @@ of (job, partition) candidates through the plan service's exact-key cache.
 The :class:`PartitionManager` tracks which GPUs are free, allocated or failed
 and enumerates the valid free partitions (the same shapes the paper admits
 for device meshes: whole consecutive hosts, or aligned sub-node slices).
+Free space is kept as one bitmask per node, so candidate queries generate
+valid placements *algebraically* from the masks instead of filtering a
+pre-enumerated mesh list — on a 2,048-GPU cluster that turns each query from
+a pass over ~36k meshes (building a ``device_id_set`` for every one) into a
+scan of 256 small integers, which is what makes fleet-scale replay feasible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..cluster.hardware import ClusterSpec
-from ..cluster.topology import DeviceMesh, enumerate_device_meshes
+from ..cluster.topology import DeviceMesh
 
 __all__ = ["Partition", "PartitionManager", "equal_node_partitions"]
 
@@ -92,16 +97,64 @@ def equal_node_partitions(cluster: ClusterSpec, n_slots: int) -> List[Partition]
 
 
 class PartitionManager:
-    """Free/allocated/failed GPU bookkeeping over one shared cluster."""
+    """Free/allocated/failed GPU bookkeeping over one shared cluster.
+
+    Alongside the plain free-id set (the external contract), the manager
+    maintains one free-GPU bitmask per node; all candidate queries are
+    answered from the masks alone.  Both structures are updated by the same
+    mutators with the same id-sets, so they can never drift apart.
+    """
 
     def __init__(self, cluster: ClusterSpec) -> None:
         self.cluster = cluster
         self._free = set(range(cluster.n_gpus))
         self._allocated: Dict[int, FrozenSet[int]] = {}
         self._failed: set = set()
-        # All valid meshes of the cluster, enumerated once; candidate queries
-        # filter this list against the current free set.
-        self._meshes = enumerate_device_meshes(cluster)
+        gpn = cluster.gpus_per_node
+        self._widths = [w for w in range(1, gpn + 1) if gpn % w == 0]
+        self._full_mask = (1 << gpn) - 1
+        self._node_mask: List[int] = [self._full_mask] * cluster.n_nodes
+
+    # ------------------------------------------------------------------ #
+    # Free-mask maintenance
+    # ------------------------------------------------------------------ #
+    def _clear_free_bits(self, ids: Iterable[int]) -> None:
+        gpn = self.cluster.gpus_per_node
+        masks = self._node_mask
+        for gid in ids:
+            masks[gid // gpn] &= ~(1 << (gid % gpn))
+
+    def _set_free_bits(self, ids: Iterable[int]) -> None:
+        gpn = self.cluster.gpus_per_node
+        masks = self._node_mask
+        for gid in ids:
+            masks[gid // gpn] |= 1 << (gid % gpn)
+
+    def _masks_with(self, extra_free: FrozenSet[int]) -> List[int]:
+        """Node masks under the hypothesis that ``extra_free`` is also free."""
+        if not extra_free:
+            return self._node_mask
+        gpn = self.cluster.gpus_per_node
+        masks = list(self._node_mask)
+        for gid in extra_free:
+            masks[gid // gpn] |= 1 << (gid % gpn)
+        return masks
+
+    def _full_node_runs(self, masks: List[int]) -> List[Tuple[int, int]]:
+        """Maximal runs of entirely-free nodes as ``(start, length)`` pairs."""
+        runs: List[Tuple[int, int]] = []
+        full = self._full_mask
+        run_start: Optional[int] = None
+        for node, mask in enumerate(masks):
+            if mask == full:
+                if run_start is None:
+                    run_start = node
+            elif run_start is not None:
+                runs.append((run_start, node - run_start))
+                run_start = None
+        if run_start is not None:
+            runs.append((run_start, len(masks) - run_start))
+        return runs
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -136,14 +189,54 @@ class PartitionManager:
         elastic-resize decisions.  Candidates are returned smallest first,
         then by location, so greedy consumers naturally pack.
         """
-        free = self._free | set(extra_free)
-        out = [
-            Partition(mesh)
-            for mesh in self._meshes
-            if min_gpus <= mesh.n_gpus
-            and (max_gpus is None or mesh.n_gpus <= max_gpus)
-            and mesh.device_id_set <= free
-        ]
+        cluster = self.cluster
+        gpn = cluster.gpus_per_node
+        # Clamp before integer arithmetic: gpu_ceiling may be infinite.
+        limit = cluster.n_gpus if max_gpus is None else min(max_gpus, cluster.n_gpus)
+        masks = self._masks_with(extra_free)
+        out: List[Partition] = []
+        append = out.append
+        # Sub-node and single full-node slices: aligned windows of each width.
+        for width in self._widths:
+            if width < min_gpus or width > limit:
+                continue
+            window = (1 << width) - 1
+            for node, mask in enumerate(masks):
+                if not mask:
+                    continue
+                for start in range(0, gpn, width):
+                    if (mask >> start) & window == window:
+                        append(
+                            Partition(
+                                DeviceMesh(
+                                    cluster=cluster,
+                                    node_start=node,
+                                    n_nodes=1,
+                                    gpu_start=start,
+                                    gpus_per_node=width,
+                                )
+                            )
+                        )
+        # Multi-node meshes: whole-host spans inside runs of fully-free nodes.
+        max_span = min(cluster.n_nodes, int(limit // gpn))
+        if max_span >= 2:
+            runs = self._full_node_runs(masks)
+            for span in range(2, max_span + 1):
+                if span * gpn < min_gpus:
+                    continue
+                for run_start, run_len in runs:
+                    for offset in range(run_len - span + 1):
+                        append(
+                            Partition(
+                                DeviceMesh(
+                                    cluster=cluster,
+                                    node_start=run_start + offset,
+                                    n_nodes=span,
+                                    gpu_start=0,
+                                    gpus_per_node=gpn,
+                                )
+                            )
+                        )
         out.sort(key=lambda p: (p.n_gpus, p.region.node_start, p.region.gpu_start))
         return out
 
@@ -156,12 +249,64 @@ class PartitionManager:
         """One representative candidate per distinct partition shape.
 
         Same-shaped partitions pose identical planning problems, so costing
-        one representative per shape is enough to score them all.
+        one representative per shape is enough to score them all.  The
+        representative is the lowest-located placement of the shape (the
+        first the sorted :meth:`candidates` list would yield), found directly
+        from the node masks without materializing the full candidate list —
+        this is the scheduler's per-decision hot query.
         """
-        seen: Dict[Tuple[int, int], Partition] = {}
-        for partition in self.candidates(min_gpus, max_gpus, extra_free):
-            seen.setdefault(partition.shape, partition)
-        return list(seen.values())
+        cluster = self.cluster
+        gpn = cluster.gpus_per_node
+        # Clamp before integer arithmetic: gpu_ceiling may be infinite.
+        limit = cluster.n_gpus if max_gpus is None else min(max_gpus, cluster.n_gpus)
+        masks = self._masks_with(extra_free)
+        out: List[Partition] = []
+        for width in self._widths:
+            if width < min_gpus or width > limit:
+                continue
+            window = (1 << width) - 1
+            found = False
+            for node, mask in enumerate(masks):
+                if not mask:
+                    continue
+                for start in range(0, gpn, width):
+                    if (mask >> start) & window == window:
+                        out.append(
+                            Partition(
+                                DeviceMesh(
+                                    cluster=cluster,
+                                    node_start=node,
+                                    n_nodes=1,
+                                    gpu_start=start,
+                                    gpus_per_node=width,
+                                )
+                            )
+                        )
+                        found = True
+                        break
+                if found:
+                    break
+        max_span = min(cluster.n_nodes, int(limit // gpn))
+        if max_span >= 2:
+            runs = self._full_node_runs(masks)
+            for span in range(2, max_span + 1):
+                if span * gpn < min_gpus:
+                    continue
+                for run_start, run_len in runs:
+                    if run_len >= span:
+                        out.append(
+                            Partition(
+                                DeviceMesh(
+                                    cluster=cluster,
+                                    node_start=run_start,
+                                    n_nodes=span,
+                                    gpu_start=0,
+                                    gpus_per_node=gpn,
+                                )
+                            )
+                        )
+                        break
+        return out
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -173,12 +318,15 @@ class PartitionManager:
             missing = sorted(ids - self._free)
             raise ValueError(f"partition GPUs not free: {missing}")
         self._free -= ids
+        self._clear_free_bits(ids)
         self._allocated[owner] = ids
 
     def release(self, owner: int) -> None:
         """Return an owner's GPUs to the free pool (failed ones stay out)."""
         ids = self._allocated.pop(owner, frozenset())
-        self._free |= set(ids) - self._failed
+        freed = set(ids) - self._failed
+        self._free |= freed
+        self._set_free_bits(freed)
 
     def fail_node(self, node: int) -> FrozenSet[int]:
         """Mark a whole node failed; returns the affected GPU ids."""
@@ -192,6 +340,7 @@ class PartitionManager:
         )
         self._failed |= ids
         self._free -= ids
+        self._node_mask[node] = 0
         return ids
 
     def restore_node(self, node: int) -> FrozenSet[int]:
@@ -205,7 +354,9 @@ class PartitionManager:
         recovered = ids & self._failed
         self._failed -= recovered
         allocated = set().union(*self._allocated.values()) if self._allocated else set()
-        self._free |= recovered - allocated
+        freed = recovered - allocated
+        self._free |= freed
+        self._set_free_bits(freed)
         return recovered
 
     def owner_ids(self, owner: int) -> FrozenSet[int]:

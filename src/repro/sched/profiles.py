@@ -77,6 +77,12 @@ class IterationProfiler:
     def __init__(self) -> None:
         self._profiles: Dict[Tuple, IterationProfile] = {}
         self._engines: Dict[Tuple, object] = {}
+        # id(plan) → (plan, canonical JSON key).  Plans are shared objects
+        # (service cache hits return the same deserialized instance), so the
+        # identity check makes repeated profiling of the same plan skip the
+        # canonical-JSON dump — the profiler's per-call hot cost at fleet
+        # scale.  Holding the plan itself keeps the id stable.
+        self._plan_keys: Dict[int, Tuple[ExecutionPlan, str]] = {}
         self.engine_runs = 0
 
     @staticmethod
@@ -95,7 +101,12 @@ class IterationProfiler:
     def profile(self, job: Job, partition: Partition, plan: ExecutionPlan) -> IterationProfile:
         """The engine-derived iteration profile of running ``plan`` there."""
         workload_key = self._workload_key(job)
-        plan_key = json.dumps(plan.to_dict(), sort_keys=True)
+        entry = self._plan_keys.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            plan_key = entry[1]
+        else:
+            plan_key = json.dumps(plan.to_dict(), sort_keys=True)
+            self._plan_keys[id(plan)] = (plan, plan_key)
         key = (workload_key, partition.shape, plan_key)
         cached = self._profiles.get(key)
         if cached is not None:

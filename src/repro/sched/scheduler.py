@@ -44,6 +44,7 @@ Perfetto.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -77,6 +78,16 @@ __all__ = ["NodeFailure", "SchedulerConfig", "ClusterScheduler", "schedule_trace
 _FAILURE, _RECOVERY, _ARRIVAL, _ITERATION = "failure", "recovery", "arrival", "iteration"
 _SEARCH_POLL = "search_poll"
 _PRIORITY = {_FAILURE: 0, _RECOVERY: 1, _ARRIVAL: 2, _ITERATION: 3, _SEARCH_POLL: 4}
+
+_OFF_VALUES = {"off", "0", "false", "no", "disabled"}
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    """Boolean knob: unset → ``default``; any :data:`_OFF_VALUES` word → off."""
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in _OFF_VALUES
 
 
 @dataclass(frozen=True)
@@ -139,6 +150,27 @@ class SchedulerConfig:
     """Fraction of the service's core budget one background session may
     borrow per poll (``REPRO_BG_CORE_SHARE``); the shared governor still
     arbitrates, so foreground replans always win the contention."""
+    timeline: bool = field(
+        default_factory=lambda: _env_flag("REPRO_SCHED_TIMELINE", True)
+    )
+    """Whether to record the per-decision timeline (``REPRO_SCHED_TIMELINE``).
+    Off, a month-long fleet replay accumulates no in-memory timeline entries
+    and pays no per-decision metrics/logging cost; the schedule report's
+    ``timeline`` list is simply empty."""
+    counter_interval_s: float = field(
+        default_factory=lambda: max(
+            0.0, _env_float("REPRO_SCHED_COUNTER_INTERVAL", 0.0)
+        )
+    )
+    """Minimum virtual seconds between live counter-track samples
+    (``REPRO_SCHED_COUNTER_INTERVAL``; 0 samples at every dispatch step).
+    Fleet replays set an interval so the in-memory sample list stays bounded
+    by the horizon, not the event count."""
+    memoize_candidates: bool = False
+    """Memoize (job-type, shape) → scored candidate inside :class:`PlanCosting`.
+    Off by default: the memo short-circuits the plan service, so service-level
+    cache statistics stop counting repeated scoring waves.  Fleet replay turns
+    it on — thousands of decisions re-score identical candidates."""
 
     def resolved_replan_search(self) -> SearchConfig:
         if self.replan_search is not None:
@@ -165,7 +197,7 @@ class SchedulerConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _Segment:
     """One contiguous running stretch of a job, for the merged Chrome trace."""
 
@@ -231,14 +263,29 @@ class ClusterScheduler:
             replan_search=self.config.resolved_replan_search(),
             prune=self.config.prune,
             registry=self.registry,
+            memoize=self.config.memoize_candidates,
         )
         self.profiler = IterationProfiler()
         self.migration = MigrationCostModel(cluster)
         self.kernel = SimKernel()
         self._queue: List[Job] = []
         self._timeline: List[Dict[str, object]] = []
+        self._timeline_enabled = self.config.timeline
         self._segments: List[_Segment] = []
         self._open_segments: Dict[int, _Segment] = {}
+        # Running-set index and per-event report aggregates: every value the
+        # end-of-run report needs is maintained O(1) at the event that changes
+        # it, so neither the hot loop nor the report ever scans all jobs.
+        # ``legacy_report()`` keeps the original scans as the parity oracle.
+        self._running_jobs: Dict[int, Job] = {}
+        self._iterations_total = 0.0
+        self._n_completed = 0
+        self._last_completion = 0.0
+        self._min_arrival = min(
+            (job.spec.arrival_time for job in self.jobs), default=0.0
+        )
+        self._n_open_sessions = 0
+        self._n_swaps_taken = 0
         self._n_failures = 0
         self._n_recoveries = 0
         self._busy_until = 0.0
@@ -283,8 +330,11 @@ class ClusterScheduler:
             "Estimated net seconds saved by one taken hot swap",
         )
         # Live counter tracks for the merged Chrome trace, sampled in virtual
-        # time at every drained kernel timestamp.
+        # time at every dirty drained kernel timestamp — or, with a counter
+        # interval configured, at most once per interval of virtual time.
         self._counter_samples: List[Tuple[float, Dict[str, float]]] = []
+        self._counter_interval = self.config.counter_interval_s
+        self._last_counter_sample = float("-inf")
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -293,6 +343,8 @@ class ClusterScheduler:
         return self.kernel.schedule(time, kind, payload, priority=_PRIORITY[kind])
 
     def _log(self, time: float, event: str, job: Optional[Job], detail: str) -> None:
+        if not self._timeline_enabled:
+            return
         self._timeline.append(
             {
                 "time": round(time, 4),
@@ -311,7 +363,16 @@ class ClusterScheduler:
         )
 
     def _running(self) -> List[Job]:
-        return [job for job in self.jobs if job.is_running]
+        """Running jobs in submission (uid) order, from the running-set index.
+
+        Uids ascend in ``self.jobs`` order, so sorting by uid reproduces the
+        order the old all-jobs scan yielded — policies iterate this list, so
+        the order is behaviour, not cosmetics.
+        """
+        running = self._running_jobs
+        if not running:
+            return []
+        return sorted(running.values(), key=lambda job: job.uid)
 
     def _accrue(self, job: Job, time: float) -> None:
         """Bank a job's GPU time and extend the busy horizon."""
@@ -409,8 +470,12 @@ class ClusterScheduler:
             self._dispatch(time)
             # Utilization only changes when dispatch ran (placements,
             # displacements, capacity changes), so sampling here captures
-            # every step of the counter tracks without per-event cost.
-            self._sample_counters(time)
+            # every step of the counter tracks without per-event cost.  A
+            # configured interval throttles the samples further, bounding the
+            # in-memory series by the horizon instead of the event count.
+            if time - self._last_counter_sample >= self._counter_interval:
+                self._last_counter_sample = time
+                self._sample_counters(time)
 
     def _sample_counters(self, time: float) -> None:
         """One virtual-time sample of the live cluster state.
@@ -418,7 +483,7 @@ class ClusterScheduler:
         Feeds both the registry gauges (latest value) and the Chrome-trace
         counter tracks (full time series) from a single measurement.
         """
-        n_running = len(self._running())
+        n_running = len(self._running_jobs)
         n_queued = len(self._queue)
         n_free = self.manager.n_free
         n_available = self.manager.n_available
@@ -440,10 +505,8 @@ class ClusterScheduler:
                     "GPU utilization": utilization,
                     "plan cache hit ratio": service_delta.hit_rate,
                     "plan search seconds": service_delta.search_seconds,
-                    "online sessions": float(
-                        sum(1 for job in self.jobs if job.session is not None)
-                    ),
-                    "plan swaps": float(sum(job.n_swaps for job in self.jobs)),
+                    "online sessions": float(self._n_open_sessions),
+                    "plan swaps": float(self._n_swaps_taken),
                 },
             )
         )
@@ -462,6 +525,7 @@ class ClusterScheduler:
             return  # stale event from before a displacement
         self._accrue(job, time)
         job.iterations_done += 1.0
+        self._iterations_total += 1.0
         if job.iterations_done >= job.spec.target_iterations:
             self._complete(job, time)
         else:
@@ -475,7 +539,11 @@ class ClusterScheduler:
     def _complete(self, job: Job, time: float) -> None:
         self._stop_session(job)
         job.phase = JobPhase.COMPLETED
+        self._running_jobs.pop(job.uid, None)
         job.completed_at = time
+        if not self._n_completed or time > self._last_completion:
+            self._last_completion = time
+        self._n_completed += 1
         job.segment_started_at = None
         job.pending_event = None
         self._close_segment(job, time)
@@ -532,6 +600,7 @@ class ClusterScheduler:
             max_workers=self._bg_workers,
         )
         self._n_sessions_started += 1
+        self._n_open_sessions += 1
         self._ensure_poll_scheduled(time)
 
     def _stop_session(self, job: Job) -> None:
@@ -540,6 +609,7 @@ class ClusterScheduler:
         if session is None:
             return
         job.session = None
+        self._n_open_sessions -= 1
         try:
             self.service.stop_session(session.session_id)
         except KeyError:
@@ -645,6 +715,7 @@ class ClusterScheduler:
             saved=saved,
         )
         job.n_swaps += 1
+        self._n_swaps_taken += 1
         self._swap_seconds_saved += saved
         self._m_swaps.labels(outcome="taken").inc()
         self._m_swap_saved.observe(saved)
@@ -695,6 +766,7 @@ class ClusterScheduler:
         job.segment_started_at = None
         job.iteration_started_at = None
         job.phase = JobPhase.PENDING
+        self._running_jobs.pop(job.uid, None)
         if reason == "preemption":
             job.n_preemptions += 1
         self._queue.append(job)
@@ -758,6 +830,7 @@ class ClusterScheduler:
         job.seconds_per_iteration = profile.seconds_per_iteration
         job.planned_seconds_per_iteration = planned_seconds_per_iteration
         job.phase = JobPhase.RUNNING
+        self._running_jobs[job.uid] = job
         job.segment_started_at = time
         job.switch_seconds += switch
         job.iteration_started_at = time + switch
@@ -891,8 +964,8 @@ class ClusterScheduler:
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
-    def _report(self) -> ScheduleReport:
-        job_metrics = [
+    def _job_metrics(self) -> List[JobMetrics]:
+        return [
             JobMetrics(
                 name=job.name,
                 priority=job.spec.priority,
@@ -909,6 +982,52 @@ class ClusterScheduler:
             )
             for job in self.jobs
         ]
+
+    def _report(self) -> ScheduleReport:
+        """Build the report from the per-event aggregates (no job scans).
+
+        ``makespan``/``total_iterations`` come from values maintained O(1)
+        at the event that changed them; :meth:`legacy_report` recomputes the
+        same report with the original end-of-run scans and the two must be
+        bit-identical (``total_iterations`` increments by exactly 1.0, so
+        incremental and per-job summation are both exact;
+        ``total_switch_seconds`` is summed in job order in both paths
+        because chronological float accumulation could drift by ulps).
+        """
+        start = self._min_arrival
+        makespan = (self._last_completion - start) if self._n_completed else 0.0
+        return ScheduleReport(
+            policy=self.policy.name,
+            cluster_gpus=self.cluster.n_gpus,
+            jobs=self._job_metrics(),
+            makespan=makespan,
+            busy_horizon=max(0.0, self._busy_until - start),
+            total_iterations=self._iterations_total,
+            n_failures=self._n_failures,
+            n_recoveries=self._n_recoveries,
+            candidates_scored=self.costing.candidates_scored,
+            cold_searches=self.costing.cold_stats,
+            replan_searches=self.costing.replan_stats,
+            service_stats=self._service_stats_delta(),
+            timeline=self._timeline,
+            n_events=self.kernel.n_processed,
+            engine_profile_runs=self.profiler.engine_runs,
+            total_switch_seconds=sum(job.switch_seconds for job in self.jobs),
+            n_search_polls=self._n_search_polls,
+            n_swaps_rejected=self._n_swaps_rejected,
+            swap_seconds_saved=self._swap_seconds_saved,
+            online_sessions=self._n_sessions_started,
+        )
+
+    def legacy_report(self) -> ScheduleReport:
+        """The original end-of-run-scan report: the parity oracle.
+
+        Recomputes every aggregate by scanning all jobs, exactly as the
+        pre-incremental implementation did.  Kept so tests can assert the
+        per-event aggregation in :meth:`_report` is bit-identical on any
+        finished run.
+        """
+        job_metrics = self._job_metrics()
         completions = [m.completed_at for m in job_metrics if m.completed_at is not None]
         arrivals = [m.arrival_time for m in job_metrics]
         start = min(arrivals) if arrivals else 0.0

@@ -149,18 +149,35 @@ class SimKernel:
         """
         wall_started = _time.perf_counter()
         processed_before = self.n_processed
+        # The drain below is the fleet-scale hot loop: one inlined heap pass
+        # per timestamp batch instead of a peek (prune) + pop (prune again)
+        # method-call round trip per event.  Semantics are identical to the
+        # naive loop: cancelled events are skipped, events the handler
+        # schedules *at* the batch timestamp drain in the same batch, and the
+        # clock only ever moves forward.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None:
-                    return
-                while True:
-                    peek = self.peek_time()
-                    if peek is None or peek != next_time:
+            while heap:
+                head = heap[0]
+                if head.cancelled:
+                    heappop(heap)
+                    continue
+                batch_time = head.time
+                if batch_time > self._now:
+                    self._now = batch_time
+                while heap:
+                    head = heap[0]
+                    if head.cancelled:
+                        heappop(heap)
+                        continue
+                    if head.time != batch_time:
                         break
-                    handler(self.pop())
+                    heappop(heap)
+                    self.n_processed += 1
+                    handler(head)
                 if on_timestamp_drained is not None:
-                    on_timestamp_drained(next_time)
+                    on_timestamp_drained(batch_time)
         finally:
             self._publish_run_metrics(
                 self.n_processed - processed_before,

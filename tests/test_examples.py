@@ -34,6 +34,7 @@ def _run_main(monkeypatch, name: str, argv: list[str]):
 def test_examples_directory_complete():
     names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
     assert names == [
+        "capacity_whatif",
         "compare_rlhf_systems",
         "long_context_planning",
         "multi_job_scheduling",
@@ -97,6 +98,24 @@ def test_multi_job_scheduling_tiny_run(monkeypatch, capsys):
     assert "Timeline:" in out
     assert "failure" in out
     assert "GPU utilization" in out
+
+
+def test_capacity_whatif_tiny_run(monkeypatch, capsys, tmp_path):
+    report_path = tmp_path / "capacity.json"
+    _run_main(
+        monkeypatch,
+        "capacity_whatif",
+        [
+            "--jobs", "4",
+            "--horizon", "300",
+            "--gpus", "32",
+            "--report", str(report_path),
+        ],
+    )
+    out = capsys.readouterr().out
+    assert "Capacity what-if grid" in out
+    assert "Pareto frontier:" in out
+    assert report_path.exists()
 
 
 def test_trace_export_tiny_run(monkeypatch, capsys, tmp_path):

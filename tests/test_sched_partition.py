@@ -134,3 +134,117 @@ class TestPartitionManager:
             assert partition.device_id_set <= free
             # The carved spec must be constructible (valid mesh shape).
             assert partition.spec.n_gpus == partition.n_gpus
+
+
+class TestMaskEquivalence:
+    """The bitmask-based generator must match brute-force enumerate-and-filter.
+
+    The legacy implementation enumerated every device mesh and filtered by
+    the free set; the rewrite walks per-node free bitmasks directly.  These
+    tests drive both through randomized allocate/fail/restore/release
+    mutation sequences and assert identical candidate lists (placements,
+    order) and identical shape representatives.
+    """
+
+    @staticmethod
+    def _reference(manager, min_gpus=1, max_gpus=None, extra_free=frozenset()):
+        from repro.cluster.topology import enumerate_device_meshes
+
+        cluster = manager.cluster
+        free = set(manager.free_ids) | set(extra_free)
+        limit = cluster.n_gpus if max_gpus is None else min(max_gpus, cluster.n_gpus)
+        meshes = [
+            mesh
+            for mesh in enumerate_device_meshes(cluster, min_gpus=max(1, min_gpus))
+            if mesh.n_gpus <= limit and mesh.device_id_set <= free
+        ]
+        meshes.sort(key=lambda m: (m.n_gpus, m.node_start, m.gpu_start))
+        return [(m.n_gpus, m.node_start, m.gpu_start, m.shape) for m in meshes]
+
+    @staticmethod
+    def _observed(partitions):
+        return [
+            (p.n_gpus, p.region.node_start, p.region.gpu_start, p.shape)
+            for p in partitions
+        ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+        min_gpus=st.integers(min_value=1, max_value=24),
+        use_inf=st.booleans(),
+    )
+    def test_candidates_match_brute_force_under_mutations(
+        self, n_nodes, seed, min_gpus, use_inf
+    ):
+        import random
+
+        rng = random.Random(seed)
+        manager = PartitionManager(make_cluster(n_nodes * 8))
+        owners = {}
+        failed_nodes = set()
+        # A short random mutation walk over the manager's full API.
+        for step in range(rng.randint(0, 6)):
+            move = rng.random()
+            if move < 0.45:
+                options = manager.candidates()
+                if options:
+                    partition = rng.choice(options)
+                    owner = 1000 + step
+                    manager.allocate(partition, owner=owner)
+                    owners[owner] = partition
+            elif move < 0.65 and owners:
+                owner = rng.choice(sorted(owners))
+                owners.pop(owner)
+                manager.release(owner)
+            elif move < 0.85 and len(failed_nodes) < n_nodes:
+                node = rng.choice(
+                    [n for n in range(n_nodes) if n not in failed_nodes]
+                )
+                manager.fail_node(node)
+                failed_nodes.add(node)
+            elif failed_nodes:
+                node = rng.choice(sorted(failed_nodes))
+                failed_nodes.discard(node)
+                manager.restore_node(node)
+
+        max_gpus = float("inf") if use_inf else rng.choice((8, 16, 24, None))
+        extra = frozenset()
+        if owners and rng.random() < 0.5:
+            extra = next(iter(owners.values())).device_id_set
+        observed = self._observed(
+            manager.candidates(min_gpus=min_gpus, max_gpus=max_gpus, extra_free=extra)
+        )
+        expected = self._reference(
+            manager, min_gpus=min_gpus, max_gpus=max_gpus, extra_free=extra
+        )
+        assert observed == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=5),
+        min_gpus=st.integers(min_value=1, max_value=24),
+        n_allocs=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_distinct_shapes_is_first_hit_per_shape(
+        self, n_nodes, min_gpus, n_allocs, seed
+    ):
+        import random
+
+        rng = random.Random(seed)
+        manager = PartitionManager(make_cluster(n_nodes * 8))
+        for i in range(n_allocs):
+            options = manager.candidates()
+            if not options:
+                break
+            manager.allocate(rng.choice(options), owner=i)
+        full = manager.candidates(min_gpus=min_gpus)
+        first_per_shape = {}
+        for partition in full:
+            first_per_shape.setdefault(partition.shape, partition)
+        representatives = manager.distinct_shapes(min_gpus=min_gpus)
+        assert self._observed(representatives) == self._observed(
+            first_per_shape.values()
+        )

@@ -1,0 +1,154 @@
+"""Trace sampling and bounded retention invariants of :class:`TraceRecorder`.
+
+Fleet-scale schedules emit millions of Chrome-trace events, so the recorder
+supports deterministic systematic sampling (``REPRO_TRACE_SAMPLE``) and a
+hard cap with head/tail retention (``REPRO_TRACE_MAX_EVENTS``).  Invariants
+tested here:
+
+* knobs at defaults ⇒ the export is **byte-identical** to an unsampled
+  recorder (no behaviour change for existing users);
+* every sampled export still passes :func:`validate_chrome_events`;
+* async begin/end and flow start/finish pairs share one sampling decision —
+  no orphaned halves, ever;
+* metadata (``ph: "M"``) naming events are exempt from sampling and the cap,
+  so every surviving payload event keeps its process/thread labels;
+* the cap keeps the head verbatim, a bounded tail window, and an instant
+  marker naming the drop count (only when events actually rolled out).
+"""
+
+import json
+
+import pytest
+
+from repro.sim import TraceRecorder, validate_chrome_events
+
+
+def _populate(recorder: TraceRecorder, n: int = 40) -> None:
+    """A deterministic mix of every event kind across two processes."""
+    for i in range(n):
+        process = "sched" if i % 2 else "engine"
+        recorder.add_span(process, f"gpu {i % 3}", f"span-{i}", i * 1.0, i + 0.5,
+                          category="work", args={"i": i})
+        if i % 4 == 0:
+            recorder.add_instant(process, "events", f"marker-{i}", i * 1.0)
+        if i % 5 == 0:
+            recorder.add_counter(process, "load", i * 1.0, {"jobs": float(i)})
+        if i % 7 == 0:
+            recorder.add_async_span(process, "sessions", f"async-{i}",
+                                    i * 1.0, i + 2.0, id=i)
+        if i % 9 == 0:
+            recorder.add_flow("sched", "events", i * 1.0,
+                              "engine", "events", i + 0.25, id=f"flow-{i}")
+
+
+class TestDefaultsAreByteIdentical:
+    def test_default_knobs_match_explicit_unsampled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_MAX_EVENTS", raising=False)
+        default = TraceRecorder()
+        explicit = TraceRecorder(sample_rate=1.0, max_events=0)
+        _populate(default)
+        _populate(explicit)
+        assert json.dumps(default.to_json(), sort_keys=True) == json.dumps(
+            explicit.to_json(), sort_keys=True
+        )
+        assert default.n_sampled_out == 0
+        assert default.n_capped_out == 0
+
+    def test_rate_one_from_env_is_identical_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "1.0")
+        sampled = TraceRecorder()
+        reference = TraceRecorder(sample_rate=1.0, max_events=0)
+        _populate(sampled)
+        _populate(reference)
+        assert sampled.to_json() == reference.to_json()
+
+
+class TestSampling:
+    def test_sampled_export_validates_and_counts_drops(self):
+        recorder = TraceRecorder(sample_rate=0.3)
+        _populate(recorder)
+        events = recorder.events()  # validates internally
+        validate_chrome_events(events)
+        assert recorder.n_sampled_out > 0
+        payload = [e for e in events if e["ph"] != "M"]
+        full = TraceRecorder()
+        _populate(full)
+        assert len(payload) < len([e for e in full.events() if e["ph"] != "M"])
+
+    def test_pairs_share_one_decision(self):
+        recorder = TraceRecorder(sample_rate=0.4)
+        _populate(recorder, n=60)
+        events = recorder.events()
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        begins = {e["id"] for e in by_phase.get("b", [])}
+        ends = {e["id"] for e in by_phase.get("e", [])}
+        assert begins == ends, "orphaned async half in sampled trace"
+        starts = {e["id"] for e in by_phase.get("s", [])}
+        finishes = {e["id"] for e in by_phase.get("f", [])}
+        assert starts == finishes, "orphaned flow half in sampled trace"
+
+    def test_metadata_survives_for_every_kept_event(self):
+        recorder = TraceRecorder(sample_rate=0.25)
+        _populate(recorder, n=60)
+        events = recorder.events()
+        named_pids = {e["pid"] for e in events
+                      if e["ph"] == "M" and e["name"] == "process_name"}
+        for event in events:
+            if event["ph"] != "M":
+                assert event["pid"] in named_pids
+
+    def test_sampling_is_deterministic(self):
+        a, b = TraceRecorder(sample_rate=0.5), TraceRecorder(sample_rate=0.5)
+        _populate(a)
+        _populate(b)
+        assert a.to_json() == b.to_json()
+
+    @pytest.mark.parametrize("raw", ["banana", "0", "-0.5", "1.5"])
+    def test_malformed_env_rate_fails_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", raw)
+        with pytest.raises(ValueError, match="REPRO_TRACE_SAMPLE"):
+            TraceRecorder()
+
+    @pytest.mark.parametrize("raw", ["banana", "-3"])
+    def test_malformed_env_cap_fails_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE_MAX_EVENTS", raw)
+        with pytest.raises(ValueError, match="REPRO_TRACE_MAX_EVENTS"):
+            TraceRecorder()
+
+
+class TestHardCap:
+    def test_head_and_tail_retention_with_marker(self):
+        recorder = TraceRecorder(max_events=12)
+        _populate(recorder, n=50)
+        assert recorder.n_capped_out > 0
+        events = recorder.events()
+        validate_chrome_events(events)
+        payload = [e for e in events if e["ph"] != "M"]
+        markers = [e for e in payload if str(e["name"]).startswith("[trace capped:")]
+        assert len(markers) == 1
+        assert str(recorder.n_capped_out) in markers[0]["name"]
+        # Head: the very first payload event is retained verbatim.
+        assert payload[0]["name"] == "span-0"
+        # Tail: the last recorded payload event survives the rolling window
+        # (i=49 records span-49 then an async pair; the pair's end is last).
+        assert payload[-1]["name"] == "async-49"
+        # Retention bound: head + tail + marker, metadata exempt.
+        assert len(payload) <= 12 + 1
+
+    def test_no_marker_when_nothing_dropped(self):
+        recorder = TraceRecorder(max_events=1000)
+        _populate(recorder, n=10)
+        assert recorder.n_capped_out == 0
+        names = [e["name"] for e in recorder.events()]
+        assert not any(str(name).startswith("[trace capped:") for name in names)
+
+    def test_env_cap_engages(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MAX_EVENTS", "8")
+        recorder = TraceRecorder()
+        assert recorder.max_events == 8
+        _populate(recorder, n=30)
+        payload = len([e for e in recorder.events() if e["ph"] != "M"])
+        assert payload <= 8 + 1  # head + tail + possibly the marker
